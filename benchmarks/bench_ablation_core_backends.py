@@ -1,0 +1,121 @@
+"""Ablation — traversal vs order-based core-number maintenance.
+
+The paper adopts the order-based algorithm [30] over traversal [18] because
+it evaluates fewer candidate vertices per insertion: only the forward chain
+in the k-order, instead of the whole connected subcore.  This bench runs
+the identical update stream through both backends and reports wall time
+plus the number of candidates whose promotion/demotion was evaluated.
+
+Expected outcome (and what it teaches): the order walk *does* evaluate
+fewer candidates, but our simplified implementation rebuilds the affected
+levels' internal order after every change instead of repairing it in
+place, and that bookkeeping dominates wall time at this scale.  The full
+ICDE'17 machinery (O(1) order-maintenance structure, in-place repairs)
+exists precisely to eliminate that cost — this ablation makes the reason
+for its complexity measurable.
+"""
+
+import random
+
+from repro.bench.reporting import print_table
+from repro.bench.timing import measure
+from repro.datasets import load
+from repro.kcore.maintenance import CoreMaintainer
+from repro.kcore.order_maintenance import OrderBasedCoreMaintainer
+
+
+def _run_stream(maintainer, edges, inserts):
+    for u, v in edges:
+        maintainer.delete_edge(u, v)
+    for u, v in inserts:
+        maintainer.insert_edge(u, v)
+
+
+def _workload(graph, batch=60, seed=13):
+    rng = random.Random(seed)
+    deletions = rng.sample(list(graph.edges()), batch)
+    vertices = list(graph.vertices())
+    inserts = []
+    working = graph.copy()
+    for u, v in deletions:
+        working.remove_edge(u, v)
+    while len(inserts) < batch:
+        u, v = rng.sample(vertices, 2)
+        if working.has_edge(u, v):
+            continue
+        working.add_edge(u, v)
+        inserts.append((u, v))
+    return deletions, inserts
+
+
+def test_traversal_backend(benchmark, graphs):
+    graph = graphs["gowalla"]
+    deletions, inserts = _workload(graph)
+
+    def run():
+        maintainer = CoreMaintainer(graph.copy())
+        _run_stream(maintainer, deletions, inserts)
+        return maintainer
+
+    maintainer = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert maintainer.candidates_evaluated > 0
+
+
+def test_order_backend(benchmark, graphs):
+    graph = graphs["gowalla"]
+    deletions, inserts = _workload(graph)
+
+    def run():
+        maintainer = OrderBasedCoreMaintainer(graph.copy())
+        _run_stream(maintainer, deletions, inserts)
+        return maintainer
+
+    maintainer = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert maintainer.candidates_evaluated > 0
+
+
+def test_report_core_backend_ablation(benchmark):
+    def build_rows():
+        rows = []
+        for name in ("brightkite", "gowalla", "pokec"):
+            graph = load(name)
+            deletions, inserts = _workload(graph)
+            results = {}
+            for label, cls in (
+                ("traversal", CoreMaintainer),
+                ("order", OrderBasedCoreMaintainer),
+            ):
+                maintainer = cls(graph.copy())
+                seconds = measure(
+                    lambda m=maintainer: _run_stream(m, deletions, inserts)
+                ).seconds
+                results[label] = (seconds, maintainer.candidates_evaluated)
+                # both backends must agree exactly
+                if "reference" in results:
+                    assert maintainer.core_numbers() == results["reference"]
+                results.setdefault("reference", maintainer.core_numbers())
+            t_trav, c_trav = results["traversal"]
+            t_ord, c_ord = results["order"]
+            rows.append(
+                (
+                    name,
+                    round(t_trav, 4),
+                    c_trav,
+                    round(t_ord, 4),
+                    c_ord,
+                    round(c_trav / max(1, c_ord), 2),
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(build_rows, rounds=1, iterations=1)
+    print_table(
+        ("dataset", "traversal_s", "traversal_cands",
+         "order_s", "order_cands", "cand_ratio"),
+        rows,
+        title="Ablation: core-maintenance backends (120 updates each)",
+    )
+    # the order-based walks never evaluate more candidates than the
+    # traversal subcores (deletion candidate sets are identical by
+    # construction; insertions are where the walks win)
+    assert all(row[5] >= 1.0 for row in rows), rows

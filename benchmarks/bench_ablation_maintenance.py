@@ -1,0 +1,54 @@
+"""Ablation — what each maintenance ingredient buys.
+
+Not a figure in the paper, but the design discussion of Sec. VI implies
+it: compare the full window machinery (``RANGE``: Theorems 3-9 bounds,
+Theorem 6 skips, early stop) against ``FULL_K`` (Theorem 2/7 skip rules
+only) and against rebuild-per-update, on one heavy-tailed dataset.
+"""
+
+import random
+
+from repro.bench.experiments import ablation_rows
+from repro.bench.reporting import print_table
+from repro.core.maintenance import KPIndexMaintainer, MaintenanceMode
+
+
+def _cycle_factory(maintainer, edges):
+    cursor = {"i": 0}
+
+    def cycle():
+        u, v = edges[cursor["i"] % len(edges)]
+        cursor["i"] += 1
+        maintainer.delete_edge(u, v)
+        maintainer.insert_edge(u, v)
+
+    return cycle
+
+
+def test_range_mode(benchmark, graphs):
+    maintainer = KPIndexMaintainer(
+        graphs["gowalla"].copy(), mode=MaintenanceMode.RANGE
+    )
+    edges = random.Random(9).sample(list(maintainer.graph.edges()), 20)
+    benchmark.pedantic(_cycle_factory(maintainer, edges), rounds=10, iterations=1)
+
+
+def test_full_k_mode(benchmark, graphs):
+    maintainer = KPIndexMaintainer(
+        graphs["gowalla"].copy(), mode=MaintenanceMode.FULL_K
+    )
+    edges = random.Random(9).sample(list(maintainer.graph.edges()), 20)
+    benchmark.pedantic(_cycle_factory(maintainer, edges), rounds=10, iterations=1)
+
+
+def test_report_ablation(benchmark):
+    headers, rows = benchmark.pedantic(
+        ablation_rows, kwargs={"dataset": "gowalla", "batch": 25}, rounds=1, iterations=1
+    )
+    print_table(headers, rows, title="Ablation: maintenance ingredients (gowalla)")
+    by_mode = {row[0]: row for row in rows}
+    # the window bounds re-peel strictly fewer vertices and enable skips
+    assert by_mode["range"][4] < by_mode["full-k"][4]
+    assert by_mode["range"][5] > 0  # Theorem 6 fires
+    assert by_mode["range"][6] > 0  # early stops fire
+    assert by_mode["full-k"][5] == 0

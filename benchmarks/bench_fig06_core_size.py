@@ -1,0 +1,28 @@
+"""Fig. 6 — |k-core| vs |(k,p)-core| on all datasets (k=10, p=0.6)."""
+
+from repro.analysis.comparison import compare_cores
+from repro.bench.experiments import DEFAULT_K, DEFAULT_P, fig6_rows
+from repro.bench.reporting import print_table
+
+
+def test_compare_cores_on_largest_dataset(benchmark, graphs):
+    comparison = benchmark.pedantic(
+        compare_cores,
+        args=(graphs["orkut"], DEFAULT_K, DEFAULT_P),
+        kwargs={"name": "orkut"},
+        rounds=1,
+        iterations=1,
+    )
+    assert comparison.kcore_vertices > 0
+
+
+def test_report_fig6(benchmark, graphs):
+    headers, rows = benchmark.pedantic(fig6_rows, rounds=1, iterations=1)
+    print_table(headers, rows, title="Fig. 6: core size, k=10, p=0.6")
+    by_name = {row[0]: row for row in rows}
+    # paper shape: kp-core much smaller except on facebook/orkut
+    for name in ("brightkite", "gowalla", "youtube", "pokec", "dblp",
+                 "livejournal"):
+        assert by_name[name][1] > by_name[name][2] > 0, name
+    for name in ("facebook", "orkut"):
+        assert by_name[name][2] >= 0.7 * by_name[name][1], name

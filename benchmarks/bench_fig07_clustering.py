@@ -1,0 +1,24 @@
+"""Fig. 7 — global clustering coefficient of k-core vs (k,p)-core."""
+
+from repro.bench.experiments import fig7_rows
+from repro.bench.reporting import print_table
+from repro.graph.metrics import global_clustering_coefficient
+from repro.kcore.compute import k_core
+
+
+def test_clustering_coefficient_computation(benchmark, graphs):
+    core = k_core(graphs["livejournal"], 10)
+    value = benchmark.pedantic(
+        global_clustering_coefficient, args=(core,), rounds=1, iterations=1
+    )
+    assert 0.0 <= value <= 1.0
+
+
+def test_report_fig7(benchmark, graphs):
+    headers, rows = benchmark.pedantic(fig7_rows, rounds=1, iterations=1)
+    print_table(
+        headers, rows, title="Fig. 7: global clustering coefficient, k=10, p=0.6"
+    )
+    # paper shape: the (k,p)-core is at least as clustered everywhere
+    for name, cc_kcore, cc_kpcore in rows:
+        assert cc_kpcore >= cc_kcore - 1e-9, name

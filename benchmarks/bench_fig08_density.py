@@ -1,0 +1,20 @@
+"""Fig. 8 — graph density of k-core vs (k,p)-core."""
+
+from repro.bench.experiments import fig8_rows
+from repro.bench.reporting import print_table
+from repro.graph.metrics import density
+from repro.kcore.compute import k_core
+
+
+def test_density_computation(benchmark, graphs):
+    core = k_core(graphs["gowalla"], 10)
+    value = benchmark.pedantic(density, args=(core,), rounds=3, iterations=1)
+    assert 0.0 <= value <= 1.0
+
+
+def test_report_fig8(benchmark, graphs):
+    headers, rows = benchmark.pedantic(fig8_rows, rounds=1, iterations=1)
+    print_table(headers, rows, title="Fig. 8: graph density, k=10, p=0.6")
+    # paper shape: density is higher on *most* datasets
+    denser = sum(1 for _, rho_k, rho_kp in rows if rho_kp >= rho_k)
+    assert denser >= 6

@@ -1,0 +1,60 @@
+"""Fig. 10 — check-ins vs core number / (k,p) stratum / onion layer."""
+
+from repro.analysis.engagement import engagement_by_kp_stratum
+from repro.bench.experiments import fig10_series
+from repro.bench.reporting import print_table
+from repro.core.decomposition import kp_core_decomposition
+from repro.datasets import simulate_checkins
+
+
+def test_stratum_aggregation(benchmark, graphs):
+    graph = graphs["gowalla"]
+    decomposition = kp_core_decomposition(graph)
+    checkins = simulate_checkins(graph, decomposition=decomposition)
+    points = benchmark.pedantic(
+        engagement_by_kp_stratum,
+        args=(graph, checkins, decomposition),
+        rounds=3,
+        iterations=1,
+    )
+    assert points
+
+
+def test_report_fig10(benchmark):
+    series = benchmark.pedantic(fig10_series, rounds=1, iterations=1)
+
+    def rows_of(points, limit=15):
+        return [
+            (round(p.x, 3), round(p.average, 1), p.count)
+            for p in points[:limit]
+        ]
+
+    print_table(
+        ("k", "avg check-ins", "users"),
+        rows_of(series["core_number"], limit=30),
+        title="Fig. 10(a): k-core decomposition",
+    )
+    populated = [p for p in series["kp_stratum"] if p.count >= 5]
+    print_table(
+        ("k + p - 0.5", "avg check-ins", "users"),
+        rows_of(populated, limit=30),
+        title="Fig. 10(a): (k,p)-core decomposition (populated strata)",
+    )
+    print_table(
+        ("onion layer", "avg check-ins", "users"),
+        rows_of(series["onion_layer"], limit=30),
+        title="Fig. 10(b): onion layers",
+    )
+
+    core_points = series["core_number"]
+    # check-ins rise with core number overall (compare top vs bottom third)
+    third = max(1, len(core_points) // 3)
+    low = sum(p.average * p.count for p in core_points[:third]) / sum(
+        p.count for p in core_points[:third]
+    )
+    high = sum(p.average * p.count for p in core_points[-third:]) / sum(
+        p.count for p in core_points[-third:]
+    )
+    assert high > low
+    # the (k,p) decomposition is strictly finer
+    assert len(series["kp_stratum"]) > len(core_points)

@@ -1,0 +1,43 @@
+"""Fig. 11 — computation time of kCoreComp / kpCoreComp / kpCoreQuery.
+
+The pytest-benchmark entries time the three algorithms on every dataset at
+the defaults (k=10, p=0.6); the report test prints the paper-style rows.
+"""
+
+import pytest
+
+from repro.bench.experiments import DEFAULT_K, DEFAULT_P, fig11_rows
+from repro.bench.reporting import print_table
+from repro.core.kpcore import kp_core_vertices_compact
+from repro.datasets import dataset_names
+from repro.kcore.compute import k_core_vertices_compact
+
+
+@pytest.mark.parametrize("name", dataset_names())
+def test_kcore_comp(benchmark, snapshots, name):
+    survivors = benchmark(k_core_vertices_compact, snapshots[name], DEFAULT_K)
+    assert isinstance(survivors, list)
+
+
+@pytest.mark.parametrize("name", dataset_names())
+def test_kpcore_comp(benchmark, snapshots, name):
+    survivors = benchmark(
+        kp_core_vertices_compact, snapshots[name], DEFAULT_K, DEFAULT_P
+    )
+    assert isinstance(survivors, list)
+
+
+@pytest.mark.parametrize("name", dataset_names())
+def test_kpcore_query(benchmark, indexes, name):
+    answer = benchmark(indexes[name].query, DEFAULT_K, DEFAULT_P)
+    assert isinstance(answer, list)
+
+
+def test_report_fig11(benchmark):
+    headers, rows = benchmark.pedantic(fig11_rows, rounds=1, iterations=1)
+    print_table(headers, rows, title="Fig. 11: computation time, k=10, p=0.6")
+    for name, t_kcore, t_kpcore, t_query, _ in rows:
+        # paper shape: kpCoreComp is close to kCoreComp (same peel), and
+        # kpCoreQuery beats both by >= an order of magnitude
+        assert t_kpcore < 20 * max(t_kcore, 1e-6), name
+        assert t_query * 10 < max(t_kpcore, 1e-6), name

@@ -1,0 +1,36 @@
+"""Fig. 12 — effect of k and p on the Orkut stand-in."""
+
+import pytest
+
+from repro.bench.experiments import DEFAULT_K, DEFAULT_P, fig12_rows
+from repro.bench.reporting import print_table
+from repro.core.kpcore import kp_core_vertices_compact
+
+
+K_GRID = (12, 24, 36, 48, 58)  # ~20%..100% of the stand-in's degeneracy
+P_GRID = (0.2, 0.4, 0.6, 0.8)
+
+
+@pytest.mark.parametrize("k", K_GRID)
+def test_kpcore_comp_vary_k(benchmark, snapshots, k):
+    survivors = benchmark(
+        kp_core_vertices_compact, snapshots["orkut"], k, DEFAULT_P
+    )
+    assert isinstance(survivors, list)
+
+
+@pytest.mark.parametrize("p", P_GRID)
+def test_kpcore_comp_vary_p(benchmark, snapshots, p):
+    survivors = benchmark(
+        kp_core_vertices_compact, snapshots["orkut"], DEFAULT_K, p
+    )
+    assert isinstance(survivors, list)
+
+
+def test_report_fig12(benchmark):
+    headers, rows = benchmark.pedantic(fig12_rows, rounds=1, iterations=1)
+    print_table(headers, rows, title="Fig. 12: effect of k and p (orkut)")
+    # query time stays roughly flat and far below computation across
+    # the whole sweep (the paper's headline observation)
+    for sweep, value, t_kcore, t_kpcore, t_query in rows:
+        assert t_query * 10 < max(t_kpcore, 1e-6), (sweep, value)

@@ -1,0 +1,28 @@
+"""Table II — dataset statistics (stand-in vs paper originals)."""
+
+from repro.bench.experiments import table2_rows
+from repro.bench.reporting import print_table
+from repro.datasets import spec
+
+
+def test_generate_all_datasets(benchmark):
+    """Time a full cold regeneration of the suite."""
+
+    def rebuild():
+        return [spec(name).build() for name in (
+            "facebook", "brightkite", "gowalla", "youtube",
+            "pokec", "dblp", "livejournal", "orkut",
+        )]
+
+    graphs = benchmark.pedantic(rebuild, rounds=1, iterations=1)
+    assert len(graphs) == 8
+
+
+def test_report_table2(benchmark, graphs):
+    headers, rows = benchmark.pedantic(table2_rows, rounds=1, iterations=1)
+    print_table(headers, rows, title="Table II: statistics of datasets")
+    assert len(rows) == 8
+    # edge ordering matches the paper's table up to its own inversion
+    sizes = [row[2] for row in rows]
+    inversions = sum(1 for a, b in zip(sizes, sizes[1:]) if a > b)
+    assert inversions <= 1

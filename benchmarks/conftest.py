@@ -1,0 +1,33 @@
+"""Shared fixtures for the per-figure benchmark suite.
+
+Every module in this directory regenerates one table or figure of the
+paper: a pytest-benchmark case times the figure's central computation, and
+a ``test_report_*`` case prints the same rows/series the paper plots
+(visible with ``pytest benchmarks/ -s`` and in captured output otherwise).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import load_all
+from repro.graph.compact import CompactAdjacency
+from repro.core.index import KPIndex
+
+
+@pytest.fixture(scope="session")
+def graphs():
+    """All eight dataset stand-ins, generated once per session."""
+    return load_all()
+
+
+@pytest.fixture(scope="session")
+def snapshots(graphs):
+    """Compact snapshots, shared by the computation-time figures."""
+    return {name: CompactAdjacency(g) for name, g in graphs.items()}
+
+
+@pytest.fixture(scope="session")
+def indexes(graphs):
+    """Pre-built KP-Indexes for the query benchmarks."""
+    return {name: KPIndex.build(g) for name, g in graphs.items()}

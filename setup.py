@@ -1,0 +1,12 @@
+"""Setuptools entry point.
+
+The project deliberately ships a classic ``setup.py``/``setup.cfg`` pair
+instead of ``pyproject.toml``: the reproduction environment is offline and
+its setuptools cannot perform PEP 660 editable installs (no ``wheel``
+package), while the legacy ``pip install -e .`` path works everywhere.
+All metadata lives in ``setup.cfg``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,46 @@
+"""Effectiveness analyses behind the paper's Sec. VII-B figures.
+
+* :mod:`repro.analysis.comparison` — k-core vs (k,p)-core size,
+  clustering, density (Figs. 6-8),
+* :mod:`repro.analysis.casestudy` — component reports and departure
+  cascades (Fig. 9),
+* :mod:`repro.analysis.engagement` — activity by core number / p-number
+  stratum / onion layer (Fig. 10).
+"""
+
+from repro.analysis.casestudy import (
+    CascadeStep,
+    ComponentReport,
+    case_study,
+    departure_cascade,
+)
+from repro.analysis.comparison import (
+    CoreComparison,
+    compare_cores,
+    comparison_table,
+)
+from repro.analysis.visualization import component_to_dot, write_component_dot
+from repro.analysis.engagement import (
+    EngagementPoint,
+    engagement_by_core_number,
+    engagement_by_kp_stratum,
+    engagement_by_onion_layer,
+    stratum_spread,
+)
+
+__all__ = [
+    "CoreComparison",
+    "compare_cores",
+    "comparison_table",
+    "ComponentReport",
+    "CascadeStep",
+    "case_study",
+    "departure_cascade",
+    "EngagementPoint",
+    "engagement_by_core_number",
+    "engagement_by_kp_stratum",
+    "engagement_by_onion_layer",
+    "stratum_spread",
+    "component_to_dot",
+    "write_component_dot",
+]

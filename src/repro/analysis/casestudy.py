@@ -1,0 +1,140 @@
+"""Connected-component case studies (Fig. 9).
+
+The paper visualizes one connected component of the DBLP k-core,
+highlights which members survive into the (k,p)-core, sizes vertices by
+fraction value, and narrates the cascade: the author with the minimum
+fraction leaves first and drags a group of collaborators out with them.
+
+This module produces the same story as data: per-component membership and
+fraction values, the minimum-fraction vertex, and the exact departure
+cascade triggered by removing it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.errors import ParameterError
+from repro.graph.adjacency import Graph, Vertex
+from repro.graph.traversal import connected_components
+from repro.kcore.compute import k_core_vertices
+from repro.core.kpcore import kp_core_vertices
+from repro.core.pvalue import check_p, fraction_threshold
+
+__all__ = ["ComponentReport", "CascadeStep", "case_study", "departure_cascade"]
+
+
+@dataclass(frozen=True)
+class CascadeStep:
+    """One vertex leaving during the cascade, with the reason."""
+
+    vertex: Vertex
+    degree_left: int
+    threshold: int
+
+
+@dataclass(frozen=True)
+class ComponentReport:
+    """Fig. 9 data for one connected component of the k-core."""
+
+    k: int
+    p: float
+    members: frozenset[Vertex]
+    kp_members: frozenset[Vertex]
+    fractions: dict[Vertex, float]
+    min_fraction_vertex: Vertex
+    cascade: tuple[CascadeStep, ...]
+
+    @property
+    def trimmed(self) -> frozenset[Vertex]:
+        """k-core members that the fraction constraint removed."""
+        return self.members - self.kp_members
+
+    def summary(self) -> str:
+        """One-paragraph narration in the style of the paper's Fig. 9 text."""
+        dropped = len(self.cascade)
+        return (
+            f"component of {len(self.members)} {self.k}-core vertices; "
+            f"{len(self.kp_members)} survive the ({self.k},{self.p})-core. "
+            f"Vertex {self.min_fraction_vertex!r} has the smallest fraction "
+            f"({self.fractions[self.min_fraction_vertex]:.3f}); its leave "
+            f"results in the departure of {max(0, dropped - 1)} other "
+            f"member(s)."
+        )
+
+
+def departure_cascade(
+    graph: Graph, members: Sequence[Vertex], leaver: Vertex, k: int, p: float
+) -> tuple[CascadeStep, ...]:
+    """Simulate the cascade after ``leaver`` departs the member set.
+
+    Members are re-checked against the combined (k,p) threshold; every
+    vertex falling below it leaves, possibly triggering more departures —
+    the mechanism behind "the leave of X leads to the departure of N other
+    authors" in Fig. 9.
+    """
+    check_p(p)
+    alive = set(members)
+    if leaver not in alive:
+        raise ParameterError(f"leaver {leaver!r} is not a component member")
+    thresholds = {
+        v: max(k, fraction_threshold(p, graph.degree(v))) for v in alive
+    }
+    inside = {
+        v: sum(1 for w in graph.neighbors(v) if w in alive) for v in alive
+    }
+    steps = [CascadeStep(leaver, inside[leaver], thresholds[leaver])]
+    alive.discard(leaver)
+    queue = [leaver]
+    while queue:
+        gone = queue.pop()
+        for w in graph.neighbors(gone):
+            if w not in alive:
+                continue
+            inside[w] -= 1
+            if inside[w] < thresholds[w]:
+                steps.append(CascadeStep(w, inside[w], thresholds[w]))
+                alive.discard(w)
+                queue.append(w)
+    return tuple(steps)
+
+
+def case_study(
+    graph: Graph, k: int, p: float, component_rank: int = 0
+) -> ComponentReport:
+    """Produce the Fig. 9 report for one k-core component.
+
+    ``component_rank`` selects the component by descending size (0 = the
+    largest).  Raises :class:`ParameterError` when the k-core is empty or
+    has fewer components than requested.
+    """
+    check_p(p)
+    core_members = k_core_vertices(graph, k)
+    if not core_members:
+        raise ParameterError(f"the {k}-core of this graph is empty")
+    kcore = graph.induced_subgraph(core_members)
+    components = connected_components(kcore)
+    if component_rank >= len(components):
+        raise ParameterError(
+            f"component_rank {component_rank} out of range "
+            f"({len(components)} components)"
+        )
+    component = components[component_rank]
+    fractions = {
+        v: sum(1 for w in graph.neighbors(v) if w in component)
+        / graph.degree(v)
+        for v in component
+    }
+    min_vertex = min(component, key=lambda v: (fractions[v], repr(v)))
+    kp_members = kp_core_vertices(graph, k, p) & component
+    cascade = departure_cascade(graph, sorted(component, key=repr), min_vertex, k, p)
+    return ComponentReport(
+        k=k,
+        p=p,
+        members=frozenset(component),
+        kp_members=frozenset(kp_members),
+        fractions=fractions,
+        min_fraction_vertex=min_vertex,
+        cascade=cascade,
+    )

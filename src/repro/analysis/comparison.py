@@ -1,0 +1,73 @@
+"""k-core vs (k,p)-core comparison statistics (Figs. 6-8).
+
+For each dataset the paper reports, at the default ``k = 10``, ``p = 0.6``:
+
+* Fig. 6 — vertex counts of the k-core and the (k,p)-core,
+* Fig. 7 — global clustering coefficient of both subgraphs,
+* Fig. 8 — graph density of both subgraphs.
+
+:func:`compare_cores` computes all three pairs for one graph;
+:func:`comparison_table` sweeps the dataset suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.graph.adjacency import Graph
+from repro.graph.metrics import density, global_clustering_coefficient
+from repro.kcore.compute import k_core_vertices
+from repro.core.kpcore import kp_core_vertices
+
+__all__ = ["CoreComparison", "compare_cores", "comparison_table"]
+
+DEFAULT_K = 10
+DEFAULT_P = 0.6
+
+
+@dataclass(frozen=True)
+class CoreComparison:
+    """Figs. 6-8 measurements for one graph at one (k, p)."""
+
+    name: str
+    k: int
+    p: float
+    kcore_vertices: int
+    kpcore_vertices: int
+    kcore_clustering: float
+    kpcore_clustering: float
+    kcore_density: float
+    kpcore_density: float
+
+    @property
+    def size_ratio(self) -> float:
+        """|k-core| / |(k,p)-core| (inf when the (k,p)-core is empty)."""
+        if self.kpcore_vertices == 0:
+            return float("inf")
+        return self.kcore_vertices / self.kpcore_vertices
+
+
+def compare_cores(
+    graph: Graph, k: int = DEFAULT_K, p: float = DEFAULT_P, name: str = ""
+) -> CoreComparison:
+    """Compute the Figs. 6-8 statistics for one graph."""
+    kcore = graph.induced_subgraph(k_core_vertices(graph, k))
+    kpcore = graph.induced_subgraph(kp_core_vertices(graph, k, p))
+    return CoreComparison(
+        name=name,
+        k=k,
+        p=p,
+        kcore_vertices=kcore.num_vertices,
+        kpcore_vertices=kpcore.num_vertices,
+        kcore_clustering=global_clustering_coefficient(kcore),
+        kpcore_clustering=global_clustering_coefficient(kpcore),
+        kcore_density=density(kcore),
+        kpcore_density=density(kpcore),
+    )
+
+
+def comparison_table(
+    graphs: dict[str, Graph], k: int = DEFAULT_K, p: float = DEFAULT_P
+) -> list[CoreComparison]:
+    """Figs. 6-8 statistics for a named suite of graphs."""
+    return [compare_cores(g, k, p, name=name) for name, g in graphs.items()]

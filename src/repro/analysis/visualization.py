@@ -1,0 +1,98 @@
+"""Graphviz DOT export of case-study components (the Fig. 9 artifact).
+
+Fig. 9 of the paper is a picture: one connected component of a k-core,
+with (k,p)-core survivors in blue, trimmed members in grey, vertex size
+proportional to fraction value, and 1-hop neighbours in light grey around
+it.  This module renders exactly that as a DOT document, so
+
+    python -m repro report fig9 ...  |  dot -Tpdf ...
+
+recreates the figure with any Graphviz installation (none is required to
+run the library — the output is plain text).
+"""
+
+from __future__ import annotations
+
+from typing import IO
+
+from repro.graph.adjacency import Graph, Vertex
+from repro.analysis.casestudy import ComponentReport
+
+__all__ = ["component_to_dot", "write_component_dot"]
+
+_SURVIVOR_COLOR = "#4477dd"  # blue: in the (k,p)-core
+_TRIMMED_COLOR = "#555555"  # dark grey: k-core only
+_HALO_COLOR = "#cccccc"  # light grey: 1-hop neighbours
+
+
+def _quote(label: object) -> str:
+    text = str(label).replace('"', '\\"')
+    return f'"{text}"'
+
+
+def component_to_dot(
+    graph: Graph,
+    report: ComponentReport,
+    include_halo: bool = True,
+    min_size: float = 0.25,
+    max_size: float = 1.0,
+) -> str:
+    """Render a :class:`ComponentReport` as a Graphviz DOT string.
+
+    Vertex diameter scales linearly with the fraction value between
+    ``min_size`` and ``max_size`` (inches), matching the paper's "size of
+    each vertex reflects the fraction value".
+    """
+    members = report.members
+    lines = [
+        "graph kp_case_study {",
+        '  layout="neato";',
+        "  overlap=false;",
+        '  node [style="filled", fontsize=8, fixedsize=true];',
+    ]
+    fractions = report.fractions
+    span = max(1e-9, max(fractions.values()) - min(fractions.values()))
+    low = min(fractions.values())
+    for v in sorted(members, key=repr):
+        frac = fractions[v]
+        size = min_size + (max_size - min_size) * (frac - low) / span
+        color = _SURVIVOR_COLOR if v in report.kp_members else _TRIMMED_COLOR
+        marker = " peripheries=2" if v == report.min_fraction_vertex else ""
+        lines.append(
+            f"  {_quote(v)} [fillcolor={_quote(color)} width={size:.2f} "
+            f"height={size:.2f}{marker}];"
+        )
+    halo: set[Vertex] = set()
+    if include_halo:
+        for v in members:
+            halo.update(w for w in graph.neighbors(v) if w not in members)
+        for w in sorted(halo, key=repr):
+            lines.append(
+                f"  {_quote(w)} [fillcolor={_quote(_HALO_COLOR)} "
+                f'width=0.12 height=0.12 label=""];'
+            )
+    drawn: set[frozenset] = set()
+    for v in members:
+        for w in graph.neighbors(v):
+            if w not in members and w not in halo:
+                continue
+            key = frozenset((v, w))
+            if key in drawn or len(key) == 1:
+                continue
+            drawn.add(key)
+            style = "" if w in members else ' [color="#bbbbbb"]'
+            lines.append(f"  {_quote(v)} -- {_quote(w)}{style};")
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+def write_component_dot(
+    graph: Graph, report: ComponentReport, destination: str | IO[str], **kwargs
+) -> None:
+    """Write :func:`component_to_dot` output to a path or stream."""
+    text = component_to_dot(graph, report, **kwargs)
+    if hasattr(destination, "write"):
+        destination.write(text)
+    else:
+        with open(destination, "w", encoding="utf-8") as handle:
+            handle.write(text)

@@ -1,0 +1,21 @@
+"""Benchmark harness: timing, table rendering, and per-experiment drivers.
+
+The ``benchmarks/`` directory wraps these drivers in pytest-benchmark
+cases; ``examples/`` and EXPERIMENTS.md reuse the same functions so every
+reported number has exactly one source.
+"""
+
+from repro.bench.reporting import banner, format_seconds, format_table, print_table
+from repro.bench.timing import Timer, Timing, measure
+from repro.bench import experiments
+
+__all__ = [
+    "Timer",
+    "Timing",
+    "measure",
+    "format_table",
+    "print_table",
+    "format_seconds",
+    "banner",
+    "experiments",
+]

@@ -1,0 +1,387 @@
+"""One entry point per paper experiment (Table II, Figs. 6-16).
+
+Each ``fig*_rows`` / ``table2_rows`` function returns ``(headers, rows)``
+ready for :func:`repro.bench.reporting.print_table`; the ``benchmarks/``
+suite wraps them in pytest-benchmark cases and prints the same rows the
+paper plots.  Keeping the logic here means examples, tests, and benchmarks
+all regenerate identical numbers.
+
+Where a paper parameter does not fit the scaled stand-ins (e.g. a 15-core
+on the scaled DBLP-3), the function degrades the parameter and records the
+substitution in the returned rows, never silently.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from repro.errors import ParameterError
+from repro.graph.adjacency import Graph
+from repro.graph.compact import CompactAdjacency
+from repro.graph.metrics import summarize
+from repro.graph.views import sample_edges, sample_ratios, sample_vertices
+from repro.kcore.compute import k_core_vertices_compact
+from repro.kcore.decomposition import core_decomposition, core_numbers_compact
+from repro.core.decomposition import kp_core_decomposition
+from repro.core.index import KPIndex
+from repro.core.kpcore import kp_core_vertices_compact
+from repro.core.maintenance import KPIndexMaintainer, MaintenanceMode
+from repro.analysis.casestudy import case_study
+from repro.analysis.comparison import compare_cores
+from repro.analysis.engagement import (
+    engagement_by_core_number,
+    engagement_by_kp_stratum,
+    engagement_by_onion_layer,
+)
+from repro.bench.timing import measure
+from repro.datasets import load_all, simulate_checkins, spec
+from repro.datasets.dblp import default_corpus
+
+__all__ = [
+    "DEFAULT_K",
+    "DEFAULT_P",
+    "table2_rows",
+    "fig6_rows",
+    "fig7_rows",
+    "fig8_rows",
+    "fig9_reports",
+    "fig10_series",
+    "fig11_rows",
+    "fig12_rows",
+    "fig13_rows",
+    "fig14_rows",
+    "fig15_rows",
+    "fig16_rows",
+    "ablation_rows",
+]
+
+DEFAULT_K = 10
+DEFAULT_P = 0.6
+
+Rows = tuple[Sequence[str], list[Sequence[object]]]
+
+
+# ----------------------------------------------------------------------
+# Table II — dataset statistics
+# ----------------------------------------------------------------------
+def table2_rows() -> Rows:
+    headers = (
+        "dataset", "vertices", "edges", "d_avg", "d_max",
+        "paper_vertices", "paper_edges", "paper_d_avg", "paper_d_max",
+    )
+    rows: list[Sequence[object]] = []
+    for name, graph in load_all().items():
+        s = summarize(graph)
+        paper = spec(name)
+        rows.append(
+            (
+                name, s.num_vertices, s.num_edges,
+                round(s.average_degree, 2), s.max_degree,
+                paper.paper_vertices, paper.paper_edges,
+                paper.paper_avg_degree, paper.paper_max_degree,
+            )
+        )
+    return headers, rows
+
+
+# ----------------------------------------------------------------------
+# Figs. 6-8 — core size / clustering / density
+# ----------------------------------------------------------------------
+def _comparisons(k: int, p: float):
+    return [
+        compare_cores(graph, k, p, name=name)
+        for name, graph in load_all().items()
+    ]
+
+
+def fig6_rows(k: int = DEFAULT_K, p: float = DEFAULT_P) -> Rows:
+    headers = ("dataset", "|k-core|", "|(k,p)-core|", "ratio")
+    rows = [
+        (
+            c.name,
+            c.kcore_vertices,
+            c.kpcore_vertices,
+            "inf" if c.size_ratio == float("inf") else round(c.size_ratio, 2),
+        )
+        for c in _comparisons(k, p)
+    ]
+    return headers, rows
+
+
+def fig7_rows(k: int = DEFAULT_K, p: float = DEFAULT_P) -> Rows:
+    headers = ("dataset", "cc(k-core)", "cc((k,p)-core)")
+    rows = [
+        (c.name, round(c.kcore_clustering, 4), round(c.kpcore_clustering, 4))
+        for c in _comparisons(k, p)
+    ]
+    return headers, rows
+
+
+def fig8_rows(k: int = DEFAULT_K, p: float = DEFAULT_P) -> Rows:
+    headers = ("dataset", "density(k-core)", "density((k,p)-core)")
+    rows = [
+        (c.name, round(c.kcore_density, 4), round(c.kpcore_density, 4))
+        for c in _comparisons(k, p)
+    ]
+    return headers, rows
+
+
+# ----------------------------------------------------------------------
+# Fig. 9 — DBLP case studies
+# ----------------------------------------------------------------------
+def _fit_k(graph: Graph, wanted_k: int) -> int:
+    """Largest k <= wanted_k with a non-empty k-core on this graph."""
+    d = core_decomposition(graph).degeneracy
+    return min(wanted_k, d)
+
+
+def fig9_reports() -> list[tuple[str, object]]:
+    """Case-study reports for DBLP-3 (paper: k=15, p=0.5) and DBLP-10
+    (paper: k=5, p=0.4), with ``k`` degraded to the scaled degeneracy when
+    needed.  Returns ``[(label, ComponentReport), ...]``."""
+    corpus = default_corpus()
+    reports: list[tuple[str, object]] = []
+    for threshold, wanted_k, p in ((3, 15, 0.5), (10, 5, 0.4)):
+        graph = corpus.graph(min_papers=threshold)
+        # The paper visualizes a component where the fraction constraint
+        # trims *part* of the k-core.  On the scaled corpus the paper's
+        # exact k may collapse (or spare) every component, so scan k
+        # downward and pick the component that best balances survivors
+        # against trimmed members (recorded in the label).
+        best = None  # (score, k, report)
+        for k in range(_fit_k(graph, wanted_k), 1, -1):
+            rank = 0
+            while True:
+                try:
+                    candidate = case_study(graph, k, p, component_rank=rank)
+                except ParameterError:  # ran out of components
+                    break
+                rank += 1
+                survivors = len(candidate.kp_members)
+                trimmed = len(candidate.members) - survivors
+                score = min(survivors, trimmed)
+                if best is None or score > best[0]:
+                    best = (score, k, candidate)
+            if best is not None and best[0] >= 5:
+                break
+        assert best is not None  # every graph here has a non-empty 2-core
+        _, k_used, report = best
+        reports.append((f"DBLP-{threshold} (k={k_used}, p={p})", report))
+    return reports
+
+
+# ----------------------------------------------------------------------
+# Fig. 10 — Gowalla engagement
+# ----------------------------------------------------------------------
+def fig10_series() -> dict[str, list]:
+    """The three Fig. 10 series on the Gowalla stand-in."""
+    graph = load_all()["gowalla"]
+    decomposition = kp_core_decomposition(graph)
+    checkins = simulate_checkins(graph, decomposition=decomposition)
+    return {
+        "core_number": engagement_by_core_number(graph, checkins, decomposition),
+        "kp_stratum": engagement_by_kp_stratum(graph, checkins, decomposition),
+        "onion_layer": engagement_by_onion_layer(graph, checkins),
+    }
+
+
+# ----------------------------------------------------------------------
+# Figs. 11-12 — computation time
+# ----------------------------------------------------------------------
+def _computation_times(
+    graph: Graph, k: int, p: float, index: KPIndex, repeat: int = 3
+) -> tuple[float, float, float]:
+    """Best-of-N times of (kCoreComp, kpCoreComp, kpCoreQuery)."""
+    snapshot = CompactAdjacency(graph)
+    t_kcore = measure(lambda: k_core_vertices_compact(snapshot, k), repeat)
+    t_kpcore = measure(lambda: kp_core_vertices_compact(snapshot, k, p), repeat)
+    t_query = measure(lambda: index.query(k, p), repeat)
+    return t_kcore.seconds, t_kpcore.seconds, t_query.seconds
+
+
+def fig11_rows(k: int = DEFAULT_K, p: float = DEFAULT_P) -> Rows:
+    headers = ("dataset", "kCoreComp_s", "kpCoreComp_s", "kpCoreQuery_s", "speedup")
+    rows: list[Sequence[object]] = []
+    for name, graph in load_all().items():
+        index = KPIndex.build(graph)
+        tk, tkp, tq = _computation_times(graph, k, p, index)
+        rows.append(
+            (name, round(tk, 5), round(tkp, 5), round(tq, 6),
+             round(tkp / tq, 1) if tq > 0 else "inf")
+        )
+    return headers, rows
+
+
+def fig12_rows(
+    ks: Sequence[int] | None = None,
+    ps: Sequence[float] = (0.2, 0.4, 0.6, 0.8),
+) -> Rows:
+    """Effect of k and p on the Orkut stand-in (paper Fig. 12).
+
+    The paper sweeps k = 5..25 against Orkut's degeneracy of 253; on the
+    scaled stand-in the equivalent sweep covers the same *relative* range,
+    so by default ``ks`` spans 20%..100% of the stand-in's degeneracy.
+    """
+    graph = load_all()["orkut"]
+    index = KPIndex.build(graph)
+    if ks is None:
+        d = index.degeneracy
+        ks = sorted({max(1, round(d * f)) for f in (0.2, 0.4, 0.6, 0.8, 1.0)})
+    headers = ("sweep", "value", "kCoreComp_s", "kpCoreComp_s", "kpCoreQuery_s")
+    rows: list[Sequence[object]] = []
+    for k in ks:
+        tk, tkp, tq = _computation_times(graph, k, DEFAULT_P, index)
+        rows.append(("vary-k", k, round(tk, 5), round(tkp, 5), round(tq, 6)))
+    for p in ps:
+        tk, tkp, tq = _computation_times(graph, DEFAULT_K, p, index)
+        rows.append(("vary-p", p, round(tk, 5), round(tkp, 5), round(tq, 6)))
+    return headers, rows
+
+
+# ----------------------------------------------------------------------
+# Figs. 13-14 — decomposition time and scalability
+# ----------------------------------------------------------------------
+def _decomposition_times(graph: Graph) -> tuple[float, float]:
+    t_core = measure(lambda: core_numbers_compact(CompactAdjacency(graph))).seconds
+    t_kp = measure(lambda: kp_core_decomposition(graph)).seconds
+    return t_core, t_kp
+
+
+def fig13_rows() -> Rows:
+    headers = ("dataset", "kcoreDecomp_s", "kpCoreDecomp_s", "slowdown")
+    rows: list[Sequence[object]] = []
+    for name, graph in load_all().items():
+        t_core, t_kp = _decomposition_times(graph)
+        rows.append(
+            (name, round(t_core, 4), round(t_kp, 4),
+             round(t_kp / t_core, 1) if t_core > 0 else "inf")
+        )
+    return headers, rows
+
+
+def fig14_rows(dataset: str = "orkut") -> Rows:
+    headers = ("sample", "ratio", "vertices", "edges",
+               "kcoreDecomp_s", "kpCoreDecomp_s")
+    graph = load_all()[dataset]
+    rows: list[Sequence[object]] = []
+    for mode, sampler in (
+        ("vertex", sample_vertices),
+        ("edge", sample_edges),
+    ):
+        for ratio in sample_ratios:
+            sampled = sampler(graph, ratio, seed=17)
+            t_core, t_kp = _decomposition_times(sampled)
+            rows.append(
+                (mode, ratio, sampled.num_vertices, sampled.num_edges,
+                 round(t_core, 4), round(t_kp, 4))
+            )
+    return headers, rows
+
+
+# ----------------------------------------------------------------------
+# Figs. 15-16 — index maintenance
+# ----------------------------------------------------------------------
+def _maintenance_times(
+    graph: Graph,
+    batch: int,
+    seed: int = 23,
+    mode: MaintenanceMode = MaintenanceMode.RANGE,
+) -> tuple[float, float, float]:
+    """(avg insert, avg delete, rebuild) seconds for one graph.
+
+    Mirrors the paper's protocol: remove ``batch`` random existing edges,
+    insert them back, report per-edge averages, and compare against a full
+    from-scratch decomposition per update.
+    """
+    rng = random.Random(seed)
+    working = graph.copy()
+    maintainer = KPIndexMaintainer(working, mode=mode)
+    edges = list(working.edges())
+    chosen = rng.sample(edges, min(batch, len(edges)))
+
+    delete_total = 0.0
+    for u, v in chosen:
+        delete_total += measure(lambda u=u, v=v: maintainer.delete_edge(u, v)).seconds
+    insert_total = 0.0
+    for u, v in chosen:
+        insert_total += measure(lambda u=u, v=v: maintainer.insert_edge(u, v)).seconds
+    rebuild = measure(lambda: KPIndex.build(graph)).seconds
+    n = max(1, len(chosen))
+    return insert_total / n, delete_total / n, rebuild
+
+
+def fig15_rows(batch: int = 50) -> Rows:
+    """Per-edge maintenance cost vs from-scratch rebuild (paper Fig. 15).
+
+    The paper uses 500 edges on graphs three orders of magnitude bigger;
+    ``batch`` is scaled accordingly but overridable.
+    """
+    headers = ("dataset", "insert_s", "delete_s", "rebuild_s",
+               "speedup_ins", "speedup_del")
+    rows: list[Sequence[object]] = []
+    for name, graph in load_all().items():
+        ins, dele, rebuild = _maintenance_times(graph, batch)
+        rows.append(
+            (name, round(ins, 5), round(dele, 5), round(rebuild, 4),
+             round(rebuild / ins, 1) if ins > 0 else "inf",
+             round(rebuild / dele, 1) if dele > 0 else "inf")
+        )
+    return headers, rows
+
+
+def fig16_rows(dataset: str = "orkut", batch: int = 25) -> Rows:
+    headers = ("sample", "ratio", "edges", "insert_s", "delete_s", "rebuild_s")
+    graph = load_all()[dataset]
+    rows: list[Sequence[object]] = []
+    for mode, sampler in (
+        ("vertex", sample_vertices),
+        ("edge", sample_edges),
+    ):
+        for ratio in sample_ratios:
+            sampled = sampler(graph, ratio, seed=19)
+            ins, dele, rebuild = _maintenance_times(sampled, batch)
+            rows.append(
+                (mode, ratio, sampled.num_edges,
+                 round(ins, 5), round(dele, 5), round(rebuild, 4))
+            )
+    return headers, rows
+
+
+# ----------------------------------------------------------------------
+# Ablation — what each maintenance ingredient buys (not in the paper's
+# plots, but implied by its design discussion)
+# ----------------------------------------------------------------------
+def ablation_rows(dataset: str = "gowalla", batch: int = 40) -> Rows:
+    headers = ("variant", "insert_s", "delete_s", "rebuild_s",
+               "repeeled_vertices", "thm6_skips", "early_stops")
+    graph = load_all()[dataset]
+    rows: list[Sequence[object]] = []
+    variants = (
+        ("range", MaintenanceMode.RANGE, "traversal"),
+        ("full-k", MaintenanceMode.FULL_K, "traversal"),
+        ("range+order-cores", MaintenanceMode.RANGE, "order"),
+    )
+    for label, mode, backend in variants:
+        rng = random.Random(29)
+        working = graph.copy()
+        maintainer = KPIndexMaintainer(working, mode=mode, core_backend=backend)
+        chosen = rng.sample(list(working.edges()), batch)
+        delete_total = insert_total = 0.0
+        for u, v in chosen:
+            delete_total += measure(
+                lambda u=u, v=v: maintainer.delete_edge(u, v)
+            ).seconds
+        for u, v in chosen:
+            insert_total += measure(
+                lambda u=u, v=v: maintainer.insert_edge(u, v)
+            ).seconds
+        rebuild = measure(lambda: KPIndex.build(graph)).seconds
+        stats = maintainer.stats
+        rows.append(
+            (label, round(insert_total / batch, 5),
+             round(delete_total / batch, 5), round(rebuild, 4),
+             stats.vertices_repeeled, stats.arrays_skipped_theorem6,
+             stats.early_stops)
+        )
+    return headers, rows

@@ -1,0 +1,56 @@
+"""Plain-text tables for the benchmark harness.
+
+Every figure/table reproduction prints its rows through these helpers so
+the outputs share one look and are easy to diff across runs.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+__all__ = ["format_table", "print_table", "format_seconds", "banner"]
+
+
+def format_seconds(seconds: float) -> str:
+    """Human scale for wall times spanning micro-seconds to minutes."""
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.1f}us"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.2f}ms"
+    return f"{seconds:.2f}s"
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    return str(value)
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Render an aligned fixed-width table."""
+    materialized = [[_cell(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in materialized:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in materialized:
+        lines.append("  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def print_table(
+    headers: Sequence[str], rows: Iterable[Sequence[object]], title: str = ""
+) -> None:
+    """Print a table, optionally under a banner title."""
+    if title:
+        print(banner(title))
+    print(format_table(headers, rows))
+
+
+def banner(title: str) -> str:
+    """A separator line announcing one experiment's output."""
+    return f"\n=== {title} ==="

@@ -1,0 +1,56 @@
+"""Timing helpers shared by the benchmark harness."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, TypeVar
+
+__all__ = ["Timer", "Timing", "measure"]
+
+T = TypeVar("T")
+
+
+class Timer:
+    """Context manager measuring wall-clock seconds.
+
+    >>> with Timer() as t:
+    ...     _ = sum(range(1000))
+    >>> t.seconds >= 0
+    True
+    """
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        self.seconds = 0.0
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.seconds = time.perf_counter() - self._start
+
+
+@dataclass(frozen=True)
+class Timing:
+    """Result and wall time of one measured call."""
+
+    result: object
+    seconds: float
+
+
+def measure(fn: Callable[[], T], repeat: int = 1) -> Timing:
+    """Run ``fn`` ``repeat`` times; report the best time and last result.
+
+    Best-of-N is the standard way to suppress scheduler noise for
+    single-shot algorithm timings.
+    """
+    if repeat < 1:
+        raise ValueError(f"repeat must be >= 1, got {repeat}")
+    best = float("inf")
+    result: object = None
+    for _ in range(repeat):
+        start = time.perf_counter()
+        result = fn()
+        elapsed = time.perf_counter() - start
+        if elapsed < best:
+            best = elapsed
+    return Timing(result=result, seconds=best)

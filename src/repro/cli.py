@@ -1,0 +1,216 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Glue for using the library without writing Python:
+
+* ``stats FILE``            — Table II-style statistics of an edge list,
+* ``kpcore FILE -k K -p P`` — the (k,p)-core's vertices (Algorithm 1),
+* ``decompose FILE -k K``   — p-numbers for a fixed k (Algorithm 2),
+* ``index build FILE -o I`` — build and save a KP-Index as JSON,
+* ``index query I -k K -p P`` — answer a query from a saved index,
+* ``dataset NAME [-o F]``   — materialize a synthetic stand-in,
+* ``report EXPERIMENT``     — print one table/figure reproduction
+  (``table2``, ``fig6`` … ``fig16``, ``ablation``).
+
+All commands print to stdout; file arguments are SNAP-style edge lists.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.errors import ReproError
+from repro.graph.io import read_edge_list, write_edge_list
+from repro.graph.metrics import summarize
+from repro.core.decomposition import p_numbers_fixed_k
+from repro.core.index import KPIndex
+from repro.core.kpcore import kp_core_vertices
+from repro.kcore.decomposition import core_decomposition
+
+__all__ = ["main", "build_parser"]
+
+
+def _read_graph(path: str):
+    # SNAP files are usually integer-labelled; fall back to strings.
+    try:
+        return read_edge_list(path, int_vertices=True)
+    except ReproError:
+        return read_edge_list(path, int_vertices=False)
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    graph = _read_graph(args.file)
+    s = summarize(graph)
+    d = core_decomposition(graph).degeneracy
+    print(f"vertices      {s.num_vertices}")
+    print(f"edges         {s.num_edges}")
+    print(f"avg degree    {s.average_degree:.2f}")
+    print(f"max degree    {s.max_degree}")
+    print(f"degeneracy    {d}")
+    return 0
+
+
+def _cmd_kpcore(args: argparse.Namespace) -> int:
+    graph = _read_graph(args.file)
+    members = kp_core_vertices(graph, args.k, args.p)
+    print(f"# ({args.k},{args.p})-core: {len(members)} vertices")
+    for v in sorted(members, key=repr):
+        print(v)
+    return 0
+
+
+def _cmd_decompose(args: argparse.Namespace) -> int:
+    graph = _read_graph(args.file)
+    pn = p_numbers_fixed_k(graph, args.k)
+    print(f"# p-numbers for k={args.k}: {len(pn)} vertices in the k-core")
+    for v, value in sorted(pn.items(), key=lambda item: (item[1], repr(item[0]))):
+        print(f"{v}\t{value:.6f}")
+    return 0
+
+
+def _cmd_index_build(args: argparse.Namespace) -> int:
+    graph = _read_graph(args.file)
+    index = KPIndex.build(graph)
+    index.validate()
+    index.save(args.output)
+    stats = index.space_stats()
+    print(f"wrote {args.output}: d={index.degeneracy}, "
+          f"{stats.vertex_entries} vertex entries (2m={stats.two_m})")
+    return 0
+
+
+def _cmd_index_query(args: argparse.Namespace) -> int:
+    index = KPIndex.load(args.index)
+    answer = index.query(args.k, args.p)
+    print(f"# ({args.k},{args.p})-core: {len(answer)} vertices")
+    for v in answer:
+        print(v)
+    return 0
+
+
+def _cmd_dataset(args: argparse.Namespace) -> int:
+    from repro.datasets import load, spec
+
+    graph = load(args.name)
+    meta = spec(args.name)
+    if args.output:
+        write_edge_list(
+            graph,
+            args.output,
+            header=[
+                f"synthetic stand-in for {meta.name} ({meta.character})",
+                f"paper original: n={meta.paper_vertices} m={meta.paper_edges}",
+            ],
+        )
+        print(f"wrote {args.output}: n={graph.num_vertices} m={graph.num_edges}")
+    else:
+        s = summarize(graph)
+        print(f"{meta.name}: n={s.num_vertices} m={s.num_edges} "
+              f"davg={s.average_degree:.2f} dmax={s.max_degree}")
+    return 0
+
+
+_REPORTS = {
+    "table2": "table2_rows",
+    "fig6": "fig6_rows",
+    "fig7": "fig7_rows",
+    "fig8": "fig8_rows",
+    "fig11": "fig11_rows",
+    "fig12": "fig12_rows",
+    "fig13": "fig13_rows",
+    "fig14": "fig14_rows",
+    "fig15": "fig15_rows",
+    "fig16": "fig16_rows",
+    "ablation": "ablation_rows",
+}
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.bench import experiments
+    from repro.bench.reporting import print_table
+
+    name = args.experiment
+    if name == "fig9":
+        for label, report in experiments.fig9_reports():
+            print(f"=== {label} ===")
+            print(report.summary())
+        return 0
+    if name == "fig10":
+        for series_name, points in experiments.fig10_series().items():
+            print_table(
+                ("x", "avg", "count"),
+                [(round(p.x, 3), round(p.average, 1), p.count) for p in points],
+                title=f"Fig. 10 series: {series_name}",
+            )
+        return 0
+    rows_fn = getattr(experiments, _REPORTS[name])
+    headers, rows = rows_fn()
+    print_table(headers, rows, title=f"Reproduction: {name}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="(k,p)-core computation, indexing, and maintenance "
+        "(ICDE 2020 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_stats = sub.add_parser("stats", help="edge-list statistics")
+    p_stats.add_argument("file")
+    p_stats.set_defaults(func=_cmd_stats)
+
+    p_core = sub.add_parser("kpcore", help="compute one (k,p)-core")
+    p_core.add_argument("file")
+    p_core.add_argument("-k", type=int, required=True)
+    p_core.add_argument("-p", type=float, required=True)
+    p_core.set_defaults(func=_cmd_kpcore)
+
+    p_dec = sub.add_parser("decompose", help="p-numbers for a fixed k")
+    p_dec.add_argument("file")
+    p_dec.add_argument("-k", type=int, required=True)
+    p_dec.set_defaults(func=_cmd_decompose)
+
+    p_index = sub.add_parser("index", help="KP-Index operations")
+    index_sub = p_index.add_subparsers(dest="index_command", required=True)
+    p_build = index_sub.add_parser("build", help="build and save an index")
+    p_build.add_argument("file")
+    p_build.add_argument("-o", "--output", required=True)
+    p_build.set_defaults(func=_cmd_index_build)
+    p_query = index_sub.add_parser("query", help="query a saved index")
+    p_query.add_argument("index")
+    p_query.add_argument("-k", type=int, required=True)
+    p_query.add_argument("-p", type=float, required=True)
+    p_query.set_defaults(func=_cmd_index_query)
+
+    p_data = sub.add_parser("dataset", help="materialize a synthetic dataset")
+    p_data.add_argument("name")
+    p_data.add_argument("-o", "--output")
+    p_data.set_defaults(func=_cmd_dataset)
+
+    p_report = sub.add_parser("report", help="print one experiment's rows")
+    p_report.add_argument(
+        "experiment", choices=sorted(_REPORTS) + ["fig9", "fig10"]
+    )
+    p_report.set_defaults(func=_cmd_report)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    except FileNotFoundError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,95 @@
+"""Materialized-cores baseline index (the Sec. V space discussion).
+
+Section V's "Discussion of KP-Index" asks whether the index could be
+smaller or simpler.  The obvious simpler design — materialize, for every
+``k`` and every distinct p-level, the full vertex set of that (k,p)-core —
+also answers queries in output time, but its space is
+``Σ_k Σ_levels |C_{k,p}|``, which grows far beyond the KP-Index's
+``Σ_k |V_k| <= 2m`` (Lemma 1): every vertex is stored once per level below
+its own p-number instead of exactly once per array.
+
+:class:`MaterializedIndex` implements that baseline so the space ablation
+(``benchmarks/bench_ablation_index_space.py``) can quantify what the
+KP-Index's deletion-order-plus-pointers layout buys.  Queries are answered
+from the stored sets; results agree exactly with :class:`~repro.core.
+index.KPIndex`.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+
+from repro.errors import ParameterError
+from repro.graph.adjacency import Graph, Vertex
+from repro.core.decomposition import kp_core_decomposition
+from repro.core.pvalue import check_p
+
+__all__ = ["MaterializedIndex"]
+
+
+class MaterializedIndex:
+    """Per-(k, level) materialized (k,p)-core vertex sets.
+
+    Build cost matches the KP-Index (one decomposition) plus the
+    materialization; space is where the designs diverge — see
+    :meth:`vertex_entries` against ``KPIndex.space_stats()``.
+    """
+
+    def __init__(
+        self,
+        levels: dict[int, list[float]],
+        cores: dict[tuple[int, float], tuple[Vertex, ...]],
+    ):
+        self._levels = levels
+        self._cores = cores
+
+    @classmethod
+    def build(cls, graph: Graph) -> "MaterializedIndex":
+        decomposition = kp_core_decomposition(graph)
+        levels: dict[int, list[float]] = {}
+        cores: dict[tuple[int, float], tuple[Vertex, ...]] = {}
+        for k, fixed in decomposition.arrays.items():
+            distinct = sorted(set(fixed.p_numbers))
+            levels[k] = distinct
+            # suffix construction, deepest level first
+            suffix: list[Vertex] = []
+            pn = fixed.pn_map()
+            ordered = sorted(pn, key=lambda v: pn[v], reverse=True)
+            cursor = 0
+            for level in reversed(distinct):
+                while cursor < len(ordered) and pn[ordered[cursor]] >= level:
+                    suffix.append(ordered[cursor])
+                    cursor += 1
+                cores[(k, level)] = tuple(suffix)
+        return cls(levels, cores)
+
+    # ------------------------------------------------------------------
+    @property
+    def degeneracy(self) -> int:
+        return max(self._levels, default=0)
+
+    def query(self, k: int, p: float) -> list[Vertex]:
+        """Vertex set of ``C_{k,p}(G)`` from the materialized sets."""
+        if k < 1:
+            raise ParameterError(f"degree threshold k must be >= 1, got {k}")
+        check_p(p)
+        levels = self._levels.get(k)
+        if not levels:
+            return []
+        j = bisect_left(levels, p)
+        if j == len(levels):
+            return []
+        return list(self._cores[(k, levels[j])])
+
+    def vertex_entries(self) -> int:
+        """Total stored vertex slots — the space figure of the ablation."""
+        return sum(len(core) for core in self._cores.values())
+
+    def level_entries(self) -> int:
+        return sum(len(levels) for levels in self._levels.values())
+
+    def __repr__(self) -> str:
+        return (
+            f"MaterializedIndex(d={self.degeneracy}, "
+            f"vertex_entries={self.vertex_entries()})"
+        )

@@ -1,0 +1,148 @@
+"""Community views over (k,p)-cores.
+
+The (k,p)-core is a single maximal subgraph, but applications — and the
+paper's own Fig. 9 — work with its *connected components*: each component
+is one community of well-engaged users.  This module provides:
+
+* :func:`kp_communities` — the connected components of ``C_{k,p}(G)``,
+* :func:`kp_community_of` — the community containing a query vertex (or
+  ``None`` if the vertex is not in the core),
+* :func:`strongest_community_parameters` — the most cohesive ``(k, p)``
+  pair under which a query vertex still belongs to some community: the
+  vertex's core number paired with its p-number there, per Definition 4,
+* :func:`parameter_grid` — community-count/size statistics over a (k, p)
+  grid, the exploration table behind "which parameters give meaningful
+  communities?".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.errors import ParameterError
+from repro.graph.adjacency import Graph, Vertex
+from repro.graph.traversal import connected_components
+from repro.core.decomposition import KPDecomposition, kp_core_decomposition
+from repro.core.kpcore import kp_core_vertices
+from repro.core.pvalue import check_p
+
+__all__ = [
+    "Community",
+    "kp_communities",
+    "kp_community_of",
+    "strongest_community_parameters",
+    "GridCell",
+    "parameter_grid",
+]
+
+
+@dataclass(frozen=True)
+class Community:
+    """One connected component of a (k,p)-core."""
+
+    k: int
+    p: float
+    vertices: frozenset[Vertex]
+
+    def __len__(self) -> int:
+        return len(self.vertices)
+
+    def induced(self, graph: Graph) -> Graph:
+        """The community as an induced subgraph of ``graph``."""
+        return graph.induced_subgraph(self.vertices)
+
+
+def kp_communities(graph: Graph, k: int, p: float) -> list[Community]:
+    """Connected components of ``C_{k,p}(G)``, largest first."""
+    members = kp_core_vertices(graph, k, p)
+    if not members:
+        return []
+    core = graph.induced_subgraph(members)
+    return [
+        Community(k=k, p=p, vertices=frozenset(component))
+        for component in connected_components(core)
+    ]
+
+
+def kp_community_of(
+    graph: Graph, v: Vertex, k: int, p: float
+) -> Community | None:
+    """The (k,p)-community containing ``v``, or ``None`` if outside.
+
+    Runs one (k,p)-core computation plus a BFS — no decomposition needed.
+    """
+    members = kp_core_vertices(graph, k, p)
+    if v not in members:
+        return None
+    core = graph.induced_subgraph(members)
+    from repro.graph.traversal import component_of
+
+    return Community(k=k, p=p, vertices=frozenset(component_of(core, v)))
+
+
+def strongest_community_parameters(
+    graph: Graph,
+    v: Vertex,
+    decomposition: KPDecomposition | None = None,
+) -> tuple[int, float] | None:
+    """The most cohesive ``(k, p)`` under which ``v`` has a community.
+
+    Cohesion is ordered by ``k`` first (the paper's primary knob), with the
+    p-number at that ``k`` as the secondary value: the answer is
+    ``(cn(v), pn(v, cn(v)))``, i.e. the deepest core containing ``v`` and
+    the largest fraction it sustains there.  Returns ``None`` for isolated
+    vertices.
+    """
+    decomposition = decomposition or kp_core_decomposition(graph)
+    cn = decomposition.core_numbers.get(v, 0)
+    if cn < 1:
+        return None
+    return cn, decomposition.arrays[cn].pn_map()[v]
+
+
+@dataclass(frozen=True)
+class GridCell:
+    """Community statistics for one (k, p) grid point."""
+
+    k: int
+    p: float
+    core_size: int
+    num_communities: int
+    largest_community: int
+
+    @property
+    def is_empty(self) -> bool:
+        return self.core_size == 0
+
+
+def parameter_grid(
+    graph: Graph,
+    ks: Sequence[int],
+    ps: Sequence[float],
+) -> list[GridCell]:
+    """Community statistics across a ``(k, p)`` parameter grid.
+
+    Cells are returned row-major (k outer, p inner).  This is the table an
+    analyst scans to choose parameters: where does the core fragment into
+    several communities, and where does it vanish?
+    """
+    for k in ks:
+        if k < 1:
+            raise ParameterError(f"grid k values must be >= 1, got {k}")
+    for p in ps:
+        check_p(p)
+    cells: list[GridCell] = []
+    for k in ks:
+        for p in ps:
+            communities = kp_communities(graph, k, p)
+            cells.append(
+                GridCell(
+                    k=k,
+                    p=p,
+                    core_size=sum(len(c) for c in communities),
+                    num_communities=len(communities),
+                    largest_community=len(communities[0]) if communities else 0,
+                )
+            )
+    return cells

@@ -1,0 +1,80 @@
+"""Hierarchy utilities over the (k,p)-core family.
+
+Section IV observes that for a fixed ``k`` the (k,p)-cores are nested as
+``p`` grows, and that across parameters ``(k,p)-core ⊆ (k',p')-core``
+whenever ``k >= k'`` and ``p >= p'`` (the containment property).  These
+helpers expose that structure: the distinct p-levels of a graph for a given
+``k``, the nested chain of cores along them, and per-vertex (k, pn) core
+profiles — the "(k,p)-core numbers" of a vertex.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from repro.graph.adjacency import Graph, Vertex
+from repro.core.decomposition import KPDecomposition, kp_core_decomposition
+
+__all__ = ["PLevel", "p_levels", "nested_cores", "core_profile"]
+
+
+@dataclass(frozen=True)
+class PLevel:
+    """One stratum of the fixed-k hierarchy.
+
+    ``vertices`` are the vertices whose p-number equals ``p``; the
+    (k, ``p``)-core is the union of this level and every level above it.
+    """
+
+    k: int
+    p: float
+    vertices: frozenset[Vertex]
+
+
+def p_levels(graph: Graph, k: int, decomposition: KPDecomposition | None = None) -> list[PLevel]:
+    """The distinct p-number levels for ``k``, in ascending ``p`` order."""
+    decomposition = decomposition or kp_core_decomposition(graph)
+    fixed = decomposition.arrays.get(k)
+    if fixed is None:
+        return []
+    grouped: dict[float, set[Vertex]] = {}
+    for v, pn in zip(fixed.order, fixed.p_numbers):
+        grouped.setdefault(pn, set()).add(v)
+    return [
+        PLevel(k=k, p=p, vertices=frozenset(members))
+        for p, members in sorted(grouped.items())
+    ]
+
+
+def nested_cores(
+    graph: Graph, k: int, decomposition: KPDecomposition | None = None
+) -> list[tuple[float, set[Vertex]]]:
+    """The nested chain ``p -> V(C_{k,p})`` over the distinct p-levels.
+
+    Returned in ascending ``p``; each vertex set strictly contains the next
+    (the Fig. 1 picture of (k,p)-cores shrinking inside the k-core).
+    """
+    levels = p_levels(graph, k, decomposition)
+    chain: list[tuple[float, set[Vertex]]] = []
+    suffix: set[Vertex] = set()
+    for level in reversed(levels):
+        suffix |= level.vertices
+        chain.append((level.p, set(suffix)))
+    chain.reverse()
+    return chain
+
+
+def core_profile(
+    graph: Graph, v: Vertex, decomposition: KPDecomposition | None = None
+) -> list[tuple[int, float]]:
+    """The (k,p)-core numbers of ``v``: ``(k, pn(v, k))`` for each valid k.
+
+    Covers ``k`` from 1 to ``cn(v)``; the p-numbers along the profile are
+    generally non-monotone in ``k`` (the paper's "Discussion of KP-Index"
+    explains why this forbids a shared vertex order across arrays).
+    """
+    decomposition = decomposition or kp_core_decomposition(graph)
+    profile: list[tuple[int, float]] = []
+    for k in range(1, decomposition.core_numbers.get(v, 0) + 1):
+        fixed = decomposition.arrays[k]
+        profile.append((k, fixed.pn_map()[v]))
+    return profile

@@ -1,0 +1,343 @@
+"""KP-Index and time-optimal query processing (Sec. V, Algorithm 3).
+
+The index ``I = ∪_{1<=k<=d(G)} A_k`` holds, per ``k``:
+
+* ``V_k`` — the k-core vertices in the deletion order of Algorithm 2, and
+* ``P_k`` — the distinct p-numbers in ascending order, each pointing at the
+  first vertex of ``V_k`` with that p-number.
+
+A (k,p)-core query locates the first p-number ``>= p`` and returns the
+suffix of ``V_k`` from its pointer — O(answer size) work (Theorem 1), plus
+a binary search over ``P_k`` to find the pointer.
+
+Space is O(m) (Lemma 1): vertex ``u`` appears in exactly ``cn(u)`` arrays,
+and ``Σ cn(u) <= Σ deg(u) = 2m``; :meth:`KPIndex.space_stats` reports the
+concrete numbers so tests can verify the bound.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Sequence
+
+from repro.errors import IndexStateError, ParameterError
+from repro.graph.adjacency import Graph, Vertex
+from repro.core.decomposition import (
+    FixedKDecomposition,
+    KPDecomposition,
+    kp_core_decomposition,
+)
+from repro.core.pvalue import check_p
+
+__all__ = ["KArray", "KPIndex", "IndexSpaceStats", "build_index"]
+
+
+@dataclass
+class KArray:
+    """One ``A_k`` of the KP-Index.
+
+    ``vertices`` (``V_k``) are in deletion order; ``p_numbers`` is aligned
+    with it and non-decreasing.  ``level_values``/``level_starts`` encode
+    ``P_k``: ``level_values[j]`` is the j-th distinct p-number and
+    ``level_starts[j]`` the index in ``vertices`` of its first vertex.
+    """
+
+    k: int
+    vertices: list[Vertex]
+    p_numbers: list[float]
+    level_values: list[float] = field(init=False)
+    level_starts: list[int] = field(init=False)
+    _pn_of: dict[Vertex, float] = field(init=False, repr=False)
+
+    def __post_init__(self):
+        if len(self.vertices) != len(self.p_numbers):
+            raise IndexStateError(
+                f"A_{self.k}: {len(self.vertices)} vertices vs "
+                f"{len(self.p_numbers)} p-numbers"
+            )
+        self._rebuild_levels()
+
+    def _rebuild_levels(self) -> None:
+        values: list[float] = []
+        starts: list[int] = []
+        previous: float | None = None
+        for i, pn in enumerate(self.p_numbers):
+            if previous is not None and pn < previous:
+                raise IndexStateError(
+                    f"A_{self.k}: p-numbers not sorted at position {i}"
+                )
+            if pn != previous:
+                values.append(pn)
+                starts.append(i)
+                previous = pn
+        self.level_values = values
+        self.level_starts = starts
+        self._pn_of = dict(zip(self.vertices, self.p_numbers))
+        if len(self._pn_of) != len(self.vertices):
+            raise IndexStateError(f"A_{self.k}: duplicate vertex in V_k")
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_fixed_k(cls, fixed: FixedKDecomposition) -> "KArray":
+        return cls(
+            k=fixed.k,
+            vertices=list(fixed.order),
+            p_numbers=list(fixed.p_numbers),
+        )
+
+    # ------------------------------------------------------------------
+    def query(self, p: float) -> list[Vertex]:
+        """Vertices of the (k,p)-core at this array's ``k`` (Algorithm 3)."""
+        check_p(p)
+        j = bisect_left(self.level_values, p)
+        if j == len(self.level_values):
+            return []
+        return self.vertices[self.level_starts[j] :]
+
+    def p_number(self, v: Vertex) -> float:
+        """``pn(v, k)``; raises ``KeyError`` if ``v`` is not in this k-core."""
+        return self._pn_of[v]
+
+    def p_number_or(self, v: Vertex, default: float = 0.0) -> float:
+        """``pn(v, k)`` with a default for vertices outside the k-core.
+
+        The maintenance section treats vertices that are not (yet) in the
+        k-core as having p-number 0.
+        """
+        return self._pn_of.get(v, default)
+
+    def contains(self, v: Vertex) -> bool:
+        return v in self._pn_of
+
+    def vertex_set(self) -> set[Vertex]:
+        return set(self.vertices)
+
+    def members_view(self):
+        """O(1) read-only membership container over ``V_k`` (a dict keys
+        view) — for callers that only need ``in`` tests."""
+        return self._pn_of.keys()
+
+    def pn_map(self) -> dict[Vertex, float]:
+        return dict(self._pn_of)
+
+    def max_p_number(self) -> float:
+        return self.level_values[-1] if self.level_values else 0.0
+
+    def replace_segment(
+        self,
+        keep_below: float,
+        segment_vertices: Sequence[Vertex],
+        segment_p_numbers: Sequence[float],
+        tail_from: Iterable[Vertex] = (),
+    ) -> None:
+        """Splice a recomputed segment into this array (maintenance).
+
+        Keeps the existing prefix of vertices with ``pn < keep_below`` (in
+        order), then appends the recomputed segment, then the given tail
+        vertices with their existing p-numbers.  The caller guarantees the
+        pieces are disjoint and level-sorted overall; ``__post_init__``
+        invariants are re-checked.
+        """
+        prefix_end = 0
+        for pn in self.p_numbers:
+            if pn < keep_below:
+                prefix_end += 1
+            else:
+                break
+        new_vertices = self.vertices[:prefix_end] + list(segment_vertices)
+        new_p_numbers = self.p_numbers[:prefix_end] + list(segment_p_numbers)
+        for v in tail_from:
+            new_vertices.append(v)
+            new_p_numbers.append(self._pn_of[v])
+        self.vertices = new_vertices
+        self.p_numbers = new_p_numbers
+        self._rebuild_levels()
+
+    def __len__(self) -> int:
+        return len(self.vertices)
+
+
+@dataclass(frozen=True)
+class IndexSpaceStats:
+    """Concrete sizes backing the Lemma 1 space argument."""
+
+    vertex_entries: int  # Σ_k |V_k|
+    p_number_entries: int  # Σ_k |P_k|
+    num_arrays: int  # d(G)
+    two_m: int  # the Lemma 1 bound on vertex entries
+
+    @property
+    def within_bound(self) -> bool:
+        return self.vertex_entries <= self.two_m and (
+            self.p_number_entries <= self.vertex_entries
+        )
+
+
+class KPIndex:
+    """The KP-Index of a graph: query in output-optimal time.
+
+    Build once with :meth:`build` (runs Algorithm 2), then answer any
+    (k,p)-core query with :meth:`query`.  For dynamic graphs wrap it in a
+    :class:`repro.core.maintenance.KPIndexMaintainer`, which keeps it
+    synchronized under edge insertions and deletions.
+    """
+
+    def __init__(self, arrays: Mapping[int, KArray], num_edges: int):
+        self._arrays: dict[int, KArray] = dict(arrays)
+        self._num_edges = num_edges
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(cls, graph: Graph) -> "KPIndex":
+        """Construct the index by full (k,p)-core decomposition."""
+        return cls.from_decomposition(kp_core_decomposition(graph), graph.num_edges)
+
+    @classmethod
+    def from_decomposition(
+        cls, decomposition: KPDecomposition, num_edges: int
+    ) -> "KPIndex":
+        arrays = {
+            k: KArray.from_fixed_k(fixed)
+            for k, fixed in decomposition.arrays.items()
+        }
+        return cls(arrays, num_edges)
+
+    # ------------------------------------------------------------------
+    @property
+    def degeneracy(self) -> int:
+        """``d(G)``: the largest ``k`` with a non-empty array."""
+        return max((k for k, a in self._arrays.items() if len(a)), default=0)
+
+    def array(self, k: int) -> KArray:
+        """``A_k``; raises ``KeyError`` if ``k`` exceeds the degeneracy."""
+        return self._arrays[k]
+
+    def arrays(self) -> dict[int, KArray]:
+        """Live view of all arrays keyed by ``k`` (maintenance internals)."""
+        return self._arrays
+
+    def adjust_num_edges(self, delta: int) -> None:
+        """Keep the Lemma 1 edge count current under maintenance."""
+        self._num_edges += delta
+
+    def query(self, k: int, p: float) -> list[Vertex]:
+        """Vertex set of ``C_{k,p}(G)`` — Algorithm 3 (kpCoreQuery).
+
+        Returns the empty list when ``k`` exceeds the degeneracy or ``p``
+        exceeds the largest p-number in ``A_k``.
+        """
+        if k < 1:
+            raise ParameterError(f"degree threshold k must be >= 1, got {k}")
+        check_p(p)
+        array = self._arrays.get(k)
+        if array is None:
+            return []
+        return array.query(p)
+
+    def p_number(self, v: Vertex, k: int) -> float:
+        """``pn(v, k, G)``; ``KeyError`` if ``v`` is outside the k-core."""
+        array = self._arrays.get(k)
+        if array is None:
+            raise KeyError(f"no {k}-core in the indexed graph")
+        return array.p_number(v)
+
+    # ------------------------------------------------------------------
+    def pn_maps(self) -> dict[int, dict[Vertex, float]]:
+        """``{k: {vertex: pn}}`` — the index's semantic content.
+
+        Two KP-Indexes of the same graph are interchangeable iff their
+        ``pn_maps`` agree (deletion order within one p-level is arbitrary).
+        """
+        return {k: a.pn_map() for k, a in self._arrays.items() if len(a)}
+
+    def semantically_equal(self, other: "KPIndex") -> bool:
+        """Order-insensitive equality of index content."""
+        return self.pn_maps() == other.pn_maps()
+
+    def space_stats(self) -> IndexSpaceStats:
+        """Sizes for the Lemma 1 space bound."""
+        return IndexSpaceStats(
+            vertex_entries=sum(len(a) for a in self._arrays.values()),
+            p_number_entries=sum(
+                len(a.level_values) for a in self._arrays.values()
+            ),
+            num_arrays=len(self._arrays),
+            two_m=2 * self._num_edges,
+        )
+
+    def validate(self) -> None:
+        """Check structural invariants; raises :class:`IndexStateError`.
+
+        Verifies per-array sorting (done by ``KArray``), the nesting
+        ``V_{k+1} ⊆ V_k``, and the Lemma 1 space bound.
+        """
+        ks = sorted(k for k, a in self._arrays.items() if len(a))
+        for smaller, larger in zip(ks, ks[1:]):
+            if larger != smaller + 1:
+                raise IndexStateError(
+                    f"array for k={smaller + 1} missing while k={larger} exists"
+                )
+        for k in ks[:-1]:
+            upper = self._arrays[k + 1].vertex_set()
+            lower = self._arrays[k].vertex_set()
+            if not upper <= lower:
+                raise IndexStateError(
+                    f"V_{k + 1} is not contained in V_{k}"
+                )
+        stats = self.space_stats()
+        if not stats.within_bound:
+            raise IndexStateError(
+                f"space bound violated: {stats.vertex_entries} vertex entries "
+                f"> 2m = {stats.two_m}"
+            )
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-serializable form (vertex labels must be JSON-friendly)."""
+        return {
+            "num_edges": self._num_edges,
+            "arrays": {
+                str(k): {"vertices": a.vertices, "p_numbers": a.p_numbers}
+                for k, a in self._arrays.items()
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "KPIndex":
+        arrays = {
+            int(k): KArray(
+                k=int(k),
+                vertices=list(entry["vertices"]),
+                p_numbers=[float(x) for x in entry["p_numbers"]],
+            )
+            for k, entry in payload["arrays"].items()
+        }
+        return cls(arrays, int(payload["num_edges"]))
+
+    def save(self, path: str) -> None:
+        """Persist the index as JSON (vertex labels must be JSON-friendly)."""
+        import json
+
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.to_dict(), handle)
+
+    @classmethod
+    def load(cls, path: str) -> "KPIndex":
+        """Load an index previously written by :meth:`save`."""
+        import json
+
+        with open(path, "r", encoding="utf-8") as handle:
+            return cls.from_dict(json.load(handle))
+
+    def __repr__(self) -> str:
+        stats = self.space_stats()
+        return (
+            f"KPIndex(d={self.degeneracy}, vertex_entries={stats.vertex_entries}, "
+            f"p_entries={stats.p_number_entries})"
+        )
+
+
+def build_index(graph: Graph) -> KPIndex:
+    """Convenience alias for :meth:`KPIndex.build`."""
+    return KPIndex.build(graph)

@@ -1,0 +1,533 @@
+"""KP-Index maintenance under edge insertion/deletion (Sec. VI, Algs. 4-5).
+
+:class:`KPIndexMaintainer` owns a graph, a :class:`~repro.kcore.
+maintenance.CoreMaintainer` (incremental core numbers) and a
+:class:`~repro.core.index.KPIndex`, and keeps the index exact under single
+edge updates.  Per update it:
+
+1. applies the edge to the graph and incrementally repairs core numbers,
+2. skips every ``A_k`` with ``k`` above ``max(cn(u), cn(v))``
+   (Theorem 2 for insertion, Theorem 7 for deletion),
+3. for each remaining ``k``, derives a p-number window ``[p_-, p_+]`` from
+   the case analysis of Algorithms 4/5 (Theorems 3-5, 8, 9, Defs. 5-7) —
+   vertices with old p-number outside the window are untouched,
+4. re-peels only the induced subgraph on the windowed vertices, stopping as
+   soon as the peel level exceeds ``p_+`` (the survivors keep their old
+   p-numbers), and splices the recomputed segment back into ``A_k``.
+
+Theorem 6 supplies an extra early-exit: when only the larger-core endpoint
+is in the k-core and a support bound certifies its p-number cannot drop,
+``A_k`` is skipped without any re-peel.
+
+Two modes support the ablation benchmark: ``RANGE`` (the full machinery
+above, the paper's algorithm) and ``FULL_K`` (skip rules only; every
+affected ``A_k`` is re-peeled in full).  Both are property-tested for exact
+agreement with from-scratch decomposition.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from dataclasses import dataclass, field
+from bisect import bisect_left
+from heapq import heappush, heappop, heapify
+from typing import Iterable
+
+from repro.errors import EdgeNotFoundError, IndexStateError, ParameterError
+from repro.graph.adjacency import Graph, Vertex
+from repro.kcore.maintenance import CoreMaintainer
+from repro.core.bounds import (
+    BoundsCache,
+    deletion_pair_bound,
+    insertion_support_bound,
+)
+from repro.core.index import KArray, KPIndex
+
+__all__ = ["MaintenanceMode", "MaintenanceStats", "KPIndexMaintainer"]
+
+
+class MaintenanceMode(enum.Enum):
+    """How aggressively an update narrows the re-peeled region."""
+
+    #: Theorems 2/7 skip rules only; affected arrays re-peel in full.
+    FULL_K = "full-k"
+    #: Additionally narrow each affected array to the ``[p_-, p_+]`` window
+    #: and early-exit via Theorem 6 — the paper's Algorithms 4/5.
+    RANGE = "range"
+
+
+@dataclass
+class MaintenanceStats:
+    """Work counters for the efficiency/ablation benchmarks."""
+
+    insertions: int = 0
+    deletions: int = 0
+    arrays_examined: int = 0
+    arrays_skipped_theorem6: int = 0
+    arrays_updated: int = 0
+    vertices_repeeled: int = 0
+    early_stops: int = 0
+    fallback_rebuilds: int = 0
+
+    def snapshot(self) -> dict[str, int]:
+        return dict(self.__dict__)
+
+
+@dataclass
+class _PeelResult:
+    order: list[Vertex] = field(default_factory=list)
+    p_numbers: list[float] = field(default_factory=list)
+    tail: list[Vertex] = field(default_factory=list)
+    stopped_early: bool = False
+
+
+class KPIndexMaintainer:
+    """Keeps a :class:`KPIndex` exact while its graph receives edge updates.
+
+    Parameters
+    ----------
+    graph:
+        The graph to index; the maintainer takes ownership — mutate it only
+        through :meth:`insert_edge` / :meth:`delete_edge`.
+    mode:
+        See :class:`MaintenanceMode`.
+    strict:
+        When true, internal consistency violations raise
+        :class:`~repro.errors.IndexStateError` instead of triggering a
+        defensive full re-peel of the affected array.  Tests run strict.
+    core_backend:
+        Which incremental core-number algorithm repairs ``cn`` values:
+        ``"traversal"`` (the subcore algorithm of [18], default) or
+        ``"order"`` (the k-order candidate walks of [30], see
+        :mod:`repro.kcore.order_maintenance`).  Both are exact; the knob
+        exists for the ablation benches.
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        mode: MaintenanceMode = MaintenanceMode.RANGE,
+        strict: bool = False,
+        core_backend: str = "traversal",
+    ):
+        self.graph = graph
+        self.mode = mode
+        self.strict = strict
+        if core_backend == "traversal":
+            self._cores = CoreMaintainer(graph)
+        elif core_backend == "order":
+            from repro.kcore.order_maintenance import OrderBasedCoreMaintainer
+
+            self._cores = OrderBasedCoreMaintainer(graph)
+        else:
+            raise ParameterError(
+                f"unknown core_backend {core_backend!r} "
+                "(expected 'traversal' or 'order')"
+            )
+        self.index = KPIndex.build(graph)
+        self.stats = MaintenanceStats()
+
+    # ------------------------------------------------------------------
+    # public accessors
+    # ------------------------------------------------------------------
+    def core_number(self, v: Vertex) -> int:
+        return self._cores.core_number(v)
+
+    def query(self, k: int, p: float) -> list[Vertex]:
+        """Answer a (k,p)-core query on the current graph."""
+        return self.index.query(k, p)
+
+    # ------------------------------------------------------------------
+    # vertex dynamics (Sec. VI preamble): reduce to edge updates
+    # ------------------------------------------------------------------
+    def insert_vertex(self, v: Vertex, neighbors: Iterable[Vertex] = ()) -> None:
+        """Insert a vertex and then each of its incident edges.
+
+        Following the paper, a fresh vertex starts with ``cn = 0`` and
+        ``pn = 0`` everywhere; every incident edge is handled by
+        :meth:`insert_edge`.
+        """
+        self.graph.add_vertex(v)
+        self._cores.insert_vertex(v)
+        for w in neighbors:
+            self.insert_edge(v, w)
+
+    def delete_vertex(self, v: Vertex) -> None:
+        """Delete ``v`` by removing its incident edges one at a time."""
+        for w in list(self.graph.neighbors(v)):
+            self.delete_edge(v, w)
+        self._cores.delete_vertex(v)
+        array = self.index.arrays().get(1)
+        if array is not None and array.contains(v):
+            array.vertices = [w for w in array.vertices if w != v]
+            array.p_numbers = [1.0] * len(array.vertices)
+            array._rebuild_levels()
+
+    def apply_updates(
+        self,
+        insertions: Iterable[tuple[Vertex, Vertex]] = (),
+        deletions: Iterable[tuple[Vertex, Vertex]] = (),
+    ) -> None:
+        """Apply a batch of edge updates (deletions first, then insertions).
+
+        Convenience wrapper over the single-edge algorithms; the index is
+        exact after every intermediate step, so a failure mid-batch leaves
+        a consistent (partially updated) state.
+        """
+        for u, v in deletions:
+            self.delete_edge(u, v)
+        for u, v in insertions:
+            self.insert_edge(u, v)
+
+    # ------------------------------------------------------------------
+    # edge insertion — Algorithm 4 (kpIndexInsert)
+    # ------------------------------------------------------------------
+    def insert_edge(self, u: Vertex, v: Vertex) -> None:
+        """Insert ``(u, v)`` and repair the index."""
+        cn_old_u = self._cores.core_number_or(u)
+        cn_old_v = self._cores.core_number_or(v)
+        promoted = self._cores.insert_edge(u, v)  # graph is now G+
+        self.stats.insertions += 1
+        self.index.adjust_num_edges(+1)
+        self._update_a1_after_insert(u, v)
+
+        low, high = sorted((cn_old_u, cn_old_v))
+        small, large = (u, v) if cn_old_u <= cn_old_v else (v, u)
+        k_changed = low + 1 if promoted else None
+        k_max = max(self._cores.core_number(u), self._cores.core_number(v))
+
+        for k in range(2, k_max + 1):
+            self.stats.arrays_examined += 1
+            array = self._ensure_array(k)
+            if self.mode is MaintenanceMode.FULL_K:
+                # Promotions only enter the (low+1)-core; other arrays keep
+                # their membership and are merely re-peeled.
+                joining = promoted if k == k_changed else set()
+                members = self._current_members(array, k, joining, set())
+                self._repeel_and_splice(
+                    array, members, 0.0, 1.0, new_members=set(members)
+                )
+                continue
+            if k == k_changed:
+                # Minor case: `promoted` just joined this k-core.  Levels
+                # above every endpoint bound are unchanged: for p0 beyond
+                # the old p-numbers, C_{k,p0}(G) avoids the new edge and
+                # stays valid in G+; beyond both p̃ bounds, C_{k,p0}(G+)
+                # avoids both endpoints and stays valid in G.
+                members = self._current_members(array, k, promoted, set())
+                bounds = BoundsCache(self.graph, members)
+                p_plus = max(
+                    array.p_number_or(u, 0.0),
+                    array.p_number_or(v, 0.0),
+                    bounds.p_tilde(u),
+                    bounds.p_tilde(v),
+                )
+                self._repeel_and_splice(
+                    array, members, 0.0, p_plus, new_members=set(promoted)
+                )
+            elif k <= low:
+                # Case 1.1: both endpoints are in the (unchanged) k-core;
+                # membership tests run against the array's own p-number
+                # map, avoiding an O(|V_k|) set build.
+                pn_u = array.p_number_or(u, 0.0)
+                pn_v = array.p_number_or(v, 0.0)
+                p_minus = min(pn_u, pn_v)  # Theorem 3
+                bounds = BoundsCache(self.graph, array.members_view())
+                p_plus = max(  # Theorem 4
+                    min(bounds.p_tilde(u), bounds.p_tilde(v)),
+                    pn_u,
+                    pn_v,
+                )
+                self._repeel_and_splice(array, None, p_minus, p_plus, set())
+            else:
+                # Case 1.2: cn(small) < k <= cn(large); only `large` is in
+                # the k-core and its p-number can only decrease.
+                p1 = array.p_number_or(large, 0.0)
+                core_at_p1 = set(array.query(p1))
+                p_star = insertion_support_bound(self.graph, core_at_p1, large, p1)
+                if p_star >= p1:  # Theorem 6: A_k provably unchanged
+                    self.stats.arrays_skipped_theorem6 += 1
+                    continue
+                self._repeel_and_splice(array, None, p_star, p1, set())
+
+    # ------------------------------------------------------------------
+    # edge deletion — Algorithm 5 (kpIndexDelete)
+    # ------------------------------------------------------------------
+    def delete_edge(self, u: Vertex, v: Vertex) -> None:
+        """Delete ``(u, v)`` and repair the index."""
+        if not self.graph.has_edge(u, v):
+            raise EdgeNotFoundError(u, v)
+        cn_old_u = self._cores.core_number(u)
+        cn_old_v = self._cores.core_number(v)
+        demoted = self._cores.delete_edge(u, v)  # graph is now G-
+        self.stats.deletions += 1
+        self.index.adjust_num_edges(-1)
+        self._update_a1_after_delete(u, v)
+
+        low, high = sorted((cn_old_u, cn_old_v))
+        large = v if cn_old_v >= cn_old_u else u
+        k_changed = low if demoted else None
+        k_max = high  # Theorem 7
+
+        for k in range(2, k_max + 1):
+            self.stats.arrays_examined += 1
+            array = self._ensure_array(k)
+            if self.mode is MaintenanceMode.FULL_K:
+                # Demotions only leave the low-core; other arrays keep
+                # their membership and are merely re-peeled.
+                leaving = demoted if k == k_changed else set()
+                members = self._current_members(array, k, set(), leaving)
+                self._repeel_and_splice(
+                    array, members, 0.0, 1.0, new_members=set(members)
+                )
+                continue
+            if k == k_changed:
+                # Minor case: `demoted` just left this k-core.  Unlike the
+                # paper's Sec. VI-B, the cap must also dominate the *old*
+                # endpoint p-numbers: for p0 beyond them, C_{k,p0}(G)
+                # avoids the removed edge and is still a valid core of G-.
+                members = self._current_members(array, k, set(), demoted)
+                bounds = BoundsCache(self.graph, members)
+                candidates = [
+                    array.p_number_or(u, 0.0),
+                    array.p_number_or(v, 0.0),
+                ]
+                if u in members:
+                    candidates.append(bounds.p_tilde(u))
+                if v in members:
+                    candidates.append(bounds.p_tilde(v))
+                self._repeel_and_splice(
+                    array, members, 0.0, max(candidates), set()
+                )
+            elif k <= low:
+                # Major case, both endpoints in the k-core (Thm. 8 / Def. 7
+                # for p_-, via the sound pair bound; Thm. 9 for p_+).
+                pn_u = array.p_number(u)
+                pn_v = array.p_number(v)
+                p1 = min(pn_u, pn_v)
+                p_minus = deletion_pair_bound(
+                    self.graph, set(array.query(p1)), u, v, k, p1
+                )
+                # Thm. 9 widened by the old endpoint p-numbers (see the
+                # minor-case comment): both are needed for levels where
+                # C_{k,p0}(G) must avoid the removed edge.
+                bounds = BoundsCache(self.graph, array.members_view())
+                p_plus = max(bounds.p_tilde(u), bounds.p_tilde(v), pn_u, pn_v)
+                self._repeel_and_splice(array, None, p_minus, p_plus, set())
+            else:
+                # Major case, cn(small) < k <= cn(large): only `large` in
+                # the k-core; its p-number can only rise.
+                p_minus = array.p_number(large)  # Theorem 8
+                # Theorem 9 capped from below by the old p-number, so the
+                # window is never inverted.
+                bounds = BoundsCache(self.graph, array.members_view())
+                p_plus = max(bounds.p_tilde(large), p_minus)
+                self._repeel_and_splice(array, None, p_minus, p_plus, set())
+
+    # ------------------------------------------------------------------
+    # A_1 bookkeeping: every 1-core vertex has p-number exactly 1.0
+    # ------------------------------------------------------------------
+    # For k = 1 the (1,p)-core is the whole graph minus isolated vertices,
+    # for *every* p in [0, 1]: each vertex keeps all of its neighbours, so
+    # every fraction is 1.  A_1 therefore only tracks membership.
+    def _update_a1_after_insert(self, u: Vertex, v: Vertex) -> None:
+        array = self._ensure_array(1)
+        changed = False
+        for w in (u, v):
+            if not array.contains(w):
+                array.vertices.append(w)
+                array.p_numbers.append(1.0)
+                changed = True
+        if changed:
+            array._rebuild_levels()
+
+    def _update_a1_after_delete(self, u: Vertex, v: Vertex) -> None:
+        isolated = [w for w in (u, v) if self.graph.degree(w) == 0]
+        if not isolated:
+            return
+        array = self._ensure_array(1)
+        drop = set(isolated)
+        array.vertices = [w for w in array.vertices if w not in drop]
+        array.p_numbers = [1.0] * len(array.vertices)
+        array._rebuild_levels()
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _ensure_array(self, k: int) -> KArray:
+        arrays = self.index.arrays()
+        array = arrays.get(k)
+        if array is None:
+            array = KArray(k=k, vertices=[], p_numbers=[])
+            arrays[k] = array
+        return array
+
+    def _current_members(
+        self,
+        array: KArray,
+        k: int,
+        promoted: Iterable[Vertex],
+        demoted: Iterable[Vertex],
+    ) -> set[Vertex]:
+        """Vertex set of the *current* k-core, derived incrementally."""
+        members = array.vertex_set()
+        members.update(promoted)
+        members.difference_update(demoted)
+        return members
+
+    def _repeel_and_splice(
+        self,
+        array: KArray,
+        members: set[Vertex] | None,
+        p_minus: float,
+        p_plus: float,
+        new_members: set[Vertex],
+    ) -> None:
+        """Recompute p-numbers in ``[p_minus, p_plus]`` and splice ``A_k``.
+
+        ``members=None`` means the k-core membership is unchanged (the
+        major cases): the residual is then the array's own ``pn >= p_-``
+        suffix, found by bisection, so per-array work is proportional to
+        the window instead of |V_k|.
+        """
+        k = array.k
+        if members is None:
+            start = bisect_left(array.p_numbers, p_minus)
+            tail_source = array.vertices[start:]
+            residual = set(tail_source)
+            residual |= new_members
+        else:
+            tail_source = array.vertices
+            residual = {
+                w
+                for w in members
+                if w in new_members or array.p_number_or(w, -1.0) >= p_minus
+            }
+        result = self._peel_residual(
+            k, residual, p_plus, new_members, array, tail_source
+        )
+        self.stats.arrays_updated += 1
+        self.stats.vertices_repeeled += len(result.order)
+        if result.stopped_early:
+            self.stats.early_stops += 1
+        try:
+            array.replace_segment(
+                keep_below=p_minus,
+                segment_vertices=result.order,
+                segment_p_numbers=result.p_numbers,
+                tail_from=result.tail,
+            )
+        except IndexStateError:
+            if self.strict:
+                raise
+            # Defensive fallback: the window was too narrow (should not
+            # happen; kept as a safety valve for unanticipated topologies).
+            self.stats.fallback_rebuilds += 1
+            full_members = (
+                array.vertex_set() if members is None else set(members)
+            )
+            full = self._peel_residual(
+                k, full_members, 2.0, full_members, array
+            )
+            array.vertices = full.order
+            array.p_numbers = full.p_numbers
+            array._rebuild_levels()
+
+    def _peel_residual(
+        self,
+        k: int,
+        residual: set[Vertex],
+        p_plus: float,
+        new_members: set[Vertex],
+        array: KArray,
+        tail_source: list[Vertex] | None = None,
+    ) -> _PeelResult:
+        """Fixed-k peel of the residual subgraph on the live graph.
+
+        Mirrors the heap peel of :mod:`repro.core.decomposition` but runs
+        over dict adjacency (the graph is dynamic here) and supports the
+        early stop: once the next peel level would exceed ``p_plus`` and no
+        vertex lacking an old p-number remains, the survivors keep their
+        old p-numbers and are returned as the tail, in old array order.
+        """
+        graph = self.graph
+        result = _PeelResult()
+        if not residual:
+            return result
+        alive = set(residual)
+        deg_r: dict[Vertex, int] = {}
+        key: dict[Vertex, float] = {}
+        # Heap entries carry a serial number so ties never compare the
+        # vertex labels themselves (labels of mixed types are allowed).
+        serial = 0
+        heap: list[tuple[float, int, Vertex]] = []
+        violators: deque[Vertex] = deque()
+        for w in residual:
+            inside = sum(1 for x in graph.neighbors(w) if x in residual)
+            deg_r[w] = inside
+            key[w] = inside / graph.degree(w)
+            heap.append((key[w], serial, w))
+            serial += 1
+            if inside < k:
+                violators.append(w)
+        heapify(heap)
+        # Vertices violating the degree constraint at the window boundary
+        # are peeled in the first round; Algorithm 2 assigns them that
+        # round's p_min, which is the minimum fraction over the whole
+        # residual (their own fractions included).
+        level = min(key.values()) if violators else 0.0
+        pending_new = sum(1 for w in alive if w in new_members)
+
+        def remove(w: Vertex, pn: float) -> None:
+            nonlocal pending_new, serial
+            alive.discard(w)
+            if w in new_members:
+                pending_new -= 1
+            result.order.append(w)
+            result.p_numbers.append(pn)
+            for x in graph.neighbors(w):
+                if x not in alive:
+                    continue
+                deg_r[x] -= 1
+                new_key = deg_r[x] / graph.degree(x)
+                key[x] = new_key
+                heappush(heap, (new_key, serial, x))
+                serial += 1
+                if deg_r[x] == k - 1:
+                    violators.append(x)
+
+        while alive:
+            if violators:
+                w = violators.popleft()
+                if w in alive:
+                    remove(w, level)
+                continue
+            w = None
+            while heap:
+                f, _, candidate = heappop(heap)
+                if candidate in alive and key[candidate] == f:
+                    w = candidate
+                    break
+            if w is None:
+                raise IndexStateError(
+                    f"A_{k}: peel heap exhausted with {len(alive)} vertices alive"
+                )
+            if f > p_plus and pending_new == 0:
+                # Theorems 4/9: survivors keep their old p-numbers.
+                result.stopped_early = True
+                source = array.vertices if tail_source is None else tail_source
+                result.tail = [x for x in source if x in alive]
+                if self.strict:
+                    bad = [
+                        x for x in result.tail if array.p_number(x) <= p_plus
+                    ]
+                    if bad:
+                        raise IndexStateError(
+                            f"A_{k}: early-stop tail contains p-numbers "
+                            f"<= p_+ ({bad[:3]}...)"
+                        )
+                return result
+            level = max(level, f)
+            remove(w, level)
+        return result

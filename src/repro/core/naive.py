@@ -1,0 +1,94 @@
+"""Reference (naive) implementations used as correctness oracles.
+
+These follow the definitions as literally as possible with no attention to
+efficiency.  The optimized algorithms in :mod:`repro.core` are checked
+against them in unit and property tests; nothing here should be used on
+large graphs.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ParameterError
+from repro.graph.adjacency import Graph, Vertex
+from repro.core.pvalue import check_p, fraction_threshold
+
+__all__ = [
+    "naive_kp_core_vertices",
+    "naive_p_number",
+    "naive_p_numbers_fixed_k",
+    "naive_core_numbers",
+]
+
+
+def naive_kp_core_vertices(graph: Graph, k: int, p: float) -> set[Vertex]:
+    """(k,p)-core by fixpoint iteration straight from Definition 3.
+
+    Start from all vertices; while any member violates the degree or
+    fraction constraint, drop every violator simultaneously.
+    """
+    if k < 0:
+        raise ParameterError(f"degree threshold k must be >= 0, got {k}")
+    check_p(p)
+    members = set(graph.vertices())
+    changed = True
+    while changed and members:
+        changed = False
+        violators = []
+        for v in members:
+            inside = sum(1 for w in graph.neighbors(v) if w in members)
+            threshold = max(k, fraction_threshold(p, graph.degree(v)))
+            if inside < threshold:
+                violators.append(v)
+        if violators:
+            members.difference_update(violators)
+            changed = True
+    return members
+
+
+def naive_p_number(graph: Graph, v: Vertex, k: int) -> float | None:
+    """``pn(v, k, G)`` by scanning candidate p values from above.
+
+    Candidate p-numbers are fractions ``a / deg(w, G)`` for graph vertices
+    ``w``; the p-number of ``v`` is the largest candidate whose (k,p)-core
+    still contains ``v``.  Returns ``None`` when ``v`` is not even in the
+    (k,0)-core (the k-core).
+    """
+    if v not in naive_kp_core_vertices(graph, k, 0.0):
+        return None
+    candidates = sorted(
+        {
+            a / graph.degree(w)
+            for w in graph.vertices()
+            if graph.degree(w) > 0
+            for a in range(0, graph.degree(w) + 1)
+        },
+        reverse=True,
+    )
+    for p in candidates:
+        if v in naive_kp_core_vertices(graph, k, p):
+            return p
+    return None
+
+
+def naive_p_numbers_fixed_k(graph: Graph, k: int) -> dict[Vertex, float]:
+    """p-numbers of every k-core vertex via :func:`naive_p_number`."""
+    result = {}
+    for v in naive_kp_core_vertices(graph, k, 0.0):
+        pn = naive_p_number(graph, v, k)
+        assert pn is not None  # v is in the k-core by construction
+        result[v] = pn
+    return result
+
+
+def naive_core_numbers(graph: Graph) -> dict[Vertex, int]:
+    """Core numbers by repeatedly computing k-cores from scratch."""
+    result = {v: 0 for v in graph.vertices()}
+    k = 1
+    remaining = set(graph.vertices())
+    while remaining:
+        survivors = naive_kp_core_vertices(graph, k, 0.0)
+        for v in remaining - survivors:
+            result[v] = k - 1
+        remaining = survivors
+        k += 1
+    return result

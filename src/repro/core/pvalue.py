@@ -1,0 +1,87 @@
+"""Numeric conventions for fractions and p-numbers.
+
+p-numbers and fraction values are rationals ``a/b`` with numerator and
+denominator bounded by the maximum degree.  The library stores them as IEEE
+doubles, which is exact *for our purposes* because:
+
+* two distinct rationals with denominators ``<= D`` differ by at least
+  ``1/D²`` and therefore round to distinct doubles whenever ``D < 2^26``
+  (far above any degree this library meets), and
+* float division is correctly rounded, so the same rational computed
+  anywhere in the code yields the bit-identical double — index maintenance
+  and from-scratch rebuilds agree exactly.
+
+The one place where floats and rationals must be reconciled is the
+**fraction constraint** ``deg(v, S) / deg(v, G) >= p`` for a caller-supplied
+float ``p``.  The library's canonical semantics is the float comparison
+``float(a / b) >= p``; :func:`fraction_threshold` converts that into the
+integer degree threshold Algorithm 1 needs, carefully handling the case
+where ``a/b`` is mathematically just below ``p`` but rounds up to it.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from repro.errors import ParameterError
+
+__all__ = ["check_p", "fraction_value", "fraction_threshold", "as_fraction"]
+
+
+def check_p(p: float) -> float:
+    """Validate a fraction threshold; returns ``p`` for chaining."""
+    if not 0.0 <= p <= 1.0:
+        raise ParameterError(f"fraction threshold p must be in [0, 1], got {p}")
+    return p
+
+
+def fraction_value(numerator: int, denominator: int) -> float:
+    """The canonical double for the fraction ``numerator/denominator``.
+
+    ``denominator`` must be positive: callers never ask for the fraction of
+    a degree-0 vertex (such a vertex is in no core with ``k >= 1``).
+    """
+    if denominator <= 0:
+        raise ParameterError(
+            f"fraction denominator must be positive, got {denominator}"
+        )
+    return numerator / denominator
+
+
+def fraction_threshold(p: float, degree: int) -> int:
+    """Smallest integer ``a`` with ``float(a / degree) >= p``.
+
+    This is the fraction part of Algorithm 1's combined threshold
+    ``t[v] = max(k, ceil(p * deg(v, G)))``, adjusted so that the integer
+    test ``deg(v, S) >= t`` agrees *exactly* with the library-wide float
+    semantics of the fraction constraint.  For ``degree == 0`` the
+    constraint is vacuous and 0 is returned.
+    """
+    check_p(p)
+    if degree < 0:
+        raise ParameterError(f"degree must be >= 0, got {degree}")
+    if degree == 0 or p == 0.0:
+        return 0
+    # Start within one of the boundary, then fix up with the *defining*
+    # float comparisons themselves — exact by construction and much
+    # cheaper than rational arithmetic in this O(n) hot path.
+    a = int(p * degree)
+    while a > 0 and (a - 1) / degree >= p:
+        a -= 1
+    while a <= degree and a / degree < p:
+        a += 1
+    return a
+
+
+def as_fraction(value: float, max_denominator: int) -> Fraction:
+    """Recover the exact rational a stored double denotes.
+
+    ``max_denominator`` should be the relevant maximum degree; within the
+    documented degree range the recovery is exact (see module docstring).
+    Used for display ("p-number 4/7") and for cross-checks in tests.
+    """
+    if max_denominator < 1:
+        raise ParameterError(
+            f"max_denominator must be >= 1, got {max_denominator}"
+        )
+    return Fraction(value).limit_denominator(max_denominator)

@@ -1,0 +1,39 @@
+"""Synthetic dataset substrate.
+
+* :mod:`repro.datasets.registry` — the eight Table II stand-ins,
+* :mod:`repro.datasets.dblp` — publication-corpus generator behind the
+  DBLP-1/3/10 graphs of the Fig. 9 case study,
+* :mod:`repro.datasets.checkins` — Gowalla-style engagement signal for the
+  Fig. 10 case study.
+"""
+
+from repro.datasets.checkins import CheckinModel, simulate_checkins
+from repro.datasets.dblp import (
+    CoauthorCorpus,
+    Publication,
+    default_corpus,
+    generate_corpus,
+)
+from repro.datasets.registry import (
+    DATASETS,
+    DatasetSpec,
+    dataset_names,
+    load,
+    load_all,
+    spec,
+)
+
+__all__ = [
+    "DATASETS",
+    "DatasetSpec",
+    "dataset_names",
+    "load",
+    "load_all",
+    "spec",
+    "CoauthorCorpus",
+    "Publication",
+    "generate_corpus",
+    "default_corpus",
+    "CheckinModel",
+    "simulate_checkins",
+]

@@ -1,0 +1,102 @@
+"""Exception hierarchy for the repro library.
+
+Every error raised intentionally by this library derives from
+:class:`ReproError`, so callers can catch library failures without also
+swallowing genuine programming errors (``TypeError`` and friends pass
+through untouched).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "GraphError",
+    "VertexNotFoundError",
+    "EdgeNotFoundError",
+    "EdgeExistsError",
+    "SelfLoopError",
+    "ParameterError",
+    "EdgeListParseError",
+    "DatasetError",
+    "IndexStateError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class GraphError(ReproError):
+    """Base class for errors involving graph structure."""
+
+
+class VertexNotFoundError(GraphError, KeyError):
+    """A vertex referenced by an operation is not present in the graph."""
+
+    def __init__(self, vertex: object):
+        super().__init__(vertex)
+        self.vertex = vertex
+
+    def __str__(self) -> str:
+        return f"vertex {self.vertex!r} is not in the graph"
+
+
+class EdgeNotFoundError(GraphError, KeyError):
+    """An edge referenced by an operation is not present in the graph."""
+
+    def __init__(self, u: object, v: object):
+        super().__init__((u, v))
+        self.edge = (u, v)
+
+    def __str__(self) -> str:
+        u, v = self.edge
+        return f"edge ({u!r}, {v!r}) is not in the graph"
+
+
+class EdgeExistsError(GraphError, ValueError):
+    """An edge insertion targeted an edge that is already present."""
+
+    def __init__(self, u: object, v: object):
+        super().__init__((u, v))
+        self.edge = (u, v)
+
+    def __str__(self) -> str:
+        u, v = self.edge
+        return f"edge ({u!r}, {v!r}) is already in the graph"
+
+
+class SelfLoopError(GraphError, ValueError):
+    """A self loop was supplied where only simple edges are allowed."""
+
+    def __init__(self, vertex: object):
+        super().__init__(vertex)
+        self.vertex = vertex
+
+    def __str__(self) -> str:
+        return f"self loop on vertex {self.vertex!r} is not allowed in a simple graph"
+
+
+class ParameterError(ReproError, ValueError):
+    """An algorithm parameter is outside its documented domain."""
+
+
+class EdgeListParseError(ReproError, ValueError):
+    """An edge-list file or stream could not be parsed."""
+
+    def __init__(self, message: str, line_number: int | None = None):
+        super().__init__(message)
+        self.line_number = line_number
+
+    def __str__(self) -> str:
+        base = super().__str__()
+        if self.line_number is None:
+            return base
+        return f"line {self.line_number}: {base}"
+
+
+class DatasetError(ReproError):
+    """A synthetic dataset could not be produced as specified."""
+
+
+class IndexStateError(ReproError, RuntimeError):
+    """A KP-Index operation was attempted from an invalid state."""

@@ -1,0 +1,64 @@
+"""Graph substrate: structures, I/O, metrics, traversal, and generators.
+
+This package is self-contained (no third-party graph library) and provides
+everything the (k,p)-core algorithms stand on:
+
+* :class:`~repro.graph.adjacency.Graph` — dynamic adjacency-set graph,
+* :class:`~repro.graph.compact.CompactAdjacency` — frozen CSR snapshot for
+  the batch peeling algorithms,
+* :mod:`~repro.graph.io` — SNAP-style edge-list reader/writer,
+* :mod:`~repro.graph.metrics` — density, clustering coefficient, degrees,
+* :mod:`~repro.graph.traversal` — BFS and connected components,
+* :mod:`~repro.graph.views` — vertex/edge sampling for the scalability
+  experiments,
+* :mod:`~repro.graph.generators` — seeded random-graph generators.
+"""
+
+from repro.graph.adjacency import Edge, Graph, Vertex
+from repro.graph.compact import CompactAdjacency
+from repro.graph.io import iter_edge_list, parse_edge_list, read_edge_list, write_edge_list
+from repro.graph.metrics import (
+    GraphSummary,
+    average_degree,
+    density,
+    global_clustering_coefficient,
+    max_degree,
+    summarize,
+    triangle_count,
+)
+from repro.graph.traversal import (
+    bfs_distances,
+    bfs_order,
+    component_of,
+    connected_components,
+    is_connected,
+    largest_component,
+)
+from repro.graph.views import sample_edges, sample_ratios, sample_vertices
+
+__all__ = [
+    "Graph",
+    "Vertex",
+    "Edge",
+    "CompactAdjacency",
+    "read_edge_list",
+    "write_edge_list",
+    "iter_edge_list",
+    "parse_edge_list",
+    "density",
+    "average_degree",
+    "max_degree",
+    "triangle_count",
+    "global_clustering_coefficient",
+    "GraphSummary",
+    "summarize",
+    "bfs_order",
+    "bfs_distances",
+    "connected_components",
+    "component_of",
+    "is_connected",
+    "largest_component",
+    "sample_vertices",
+    "sample_edges",
+    "sample_ratios",
+]

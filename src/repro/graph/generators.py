@@ -1,0 +1,438 @@
+"""Seeded random-graph generators (from scratch — no networkx).
+
+These generators are the raw material for the synthetic dataset registry in
+:mod:`repro.datasets`: the paper's SNAP graphs are heavy-tailed and locally
+dense, so the registry mixes power-law configuration models, preferential
+attachment, and planted communities.  Every generator takes an explicit
+``seed`` and is deterministic for a given (parameters, seed) pair.
+
+All generators return simple undirected :class:`~repro.graph.adjacency.
+Graph` objects with integer vertices ``0..n-1``.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Iterator, Sequence
+
+from repro.errors import ParameterError
+from repro.graph.adjacency import Graph
+
+__all__ = [
+    "erdos_renyi_gnm",
+    "erdos_renyi_gnp",
+    "barabasi_albert",
+    "powerlaw_degree_sequence",
+    "configuration_model",
+    "powerlaw_cluster_graph",
+    "planted_partition",
+    "heterogeneous_planted_partition",
+    "watts_strogatz",
+    "complete_graph",
+    "cycle_graph",
+    "star_graph",
+]
+
+
+# ----------------------------------------------------------------------
+# deterministic building blocks
+# ----------------------------------------------------------------------
+def complete_graph(n: int) -> Graph:
+    """K_n on vertices ``0..n-1``."""
+    graph = Graph()
+    for v in range(n):
+        graph.add_vertex(v)
+    for u in range(n):
+        for v in range(u + 1, n):
+            graph.add_edge(u, v)
+    return graph
+
+
+def cycle_graph(n: int) -> Graph:
+    """C_n on vertices ``0..n-1`` (n >= 3)."""
+    if n < 3:
+        raise ParameterError(f"cycle needs at least 3 vertices, got {n}")
+    return Graph((i, (i + 1) % n) for i in range(n))
+
+
+def star_graph(n_leaves: int) -> Graph:
+    """Star with centre 0 and ``n_leaves`` leaves."""
+    if n_leaves < 1:
+        raise ParameterError("star needs at least one leaf")
+    return Graph((0, i) for i in range(1, n_leaves + 1))
+
+
+# ----------------------------------------------------------------------
+# Erdős–Rényi
+# ----------------------------------------------------------------------
+def erdos_renyi_gnm(n: int, m: int, seed: int = 0) -> Graph:
+    """Uniform random graph with exactly ``n`` vertices and ``m`` edges."""
+    max_edges = n * (n - 1) // 2
+    if m > max_edges:
+        raise ParameterError(f"G(n={n}) has at most {max_edges} edges, asked {m}")
+    rng = random.Random(seed)
+    graph = Graph()
+    for v in range(n):
+        graph.add_vertex(v)
+    added = 0
+    while added < m:
+        u = rng.randrange(n)
+        v = rng.randrange(n)
+        if u != v and graph.add_edge(u, v):
+            added += 1
+    return graph
+
+
+def _gnp_pairs(n: int, p: float, rng: random.Random) -> Iterator[tuple[int, int]]:
+    """Yield each of the C(n,2) pairs independently with probability ``p``.
+
+    Uses geometric jumps so the cost is proportional to the number of
+    edges produced, not to n².
+    """
+    if p <= 0.0:
+        return
+    if p >= 1.0:
+        for u in range(n):
+            for v in range(u + 1, n):
+                yield (u, v)
+        return
+    log_q = math.log1p(-p)
+    # Enumerate pairs (u, v), u < v, in row-major order via a single index.
+    index = -1
+    last = n * (n - 1) // 2
+    while True:
+        r = rng.random()
+        skip = int(math.log(1.0 - r) / log_q) if r > 0.0 else 0
+        index += 1 + skip
+        if index >= last:
+            return
+        # Invert the row-major pair index.
+        u = int((2 * n - 1 - math.sqrt((2 * n - 1) ** 2 - 8 * index)) / 2)
+        offset = index - (u * (2 * n - u - 1)) // 2
+        v = u + 1 + offset
+        if v >= n:  # float inversion can land one row short; fix up
+            u += 1
+            v = u + 1 + (offset - (n - u))
+        yield (u, v)
+
+
+def erdos_renyi_gnp(n: int, p: float, seed: int = 0) -> Graph:
+    """G(n, p) with independent edge probability ``p``."""
+    if not 0.0 <= p <= 1.0:
+        raise ParameterError(f"edge probability must be in [0, 1], got {p}")
+    rng = random.Random(seed)
+    graph = Graph()
+    for v in range(n):
+        graph.add_vertex(v)
+    for u, v in _gnp_pairs(n, p, rng):
+        graph.add_edge(u, v)
+    return graph
+
+
+# ----------------------------------------------------------------------
+# preferential attachment
+# ----------------------------------------------------------------------
+def barabasi_albert(n: int, edges_per_vertex: int, seed: int = 0) -> Graph:
+    """Barabási–Albert preferential attachment.
+
+    Starts from a star on ``edges_per_vertex + 1`` vertices; each new
+    vertex attaches to ``edges_per_vertex`` distinct existing vertices
+    chosen proportionally to degree.
+    """
+    m = edges_per_vertex
+    if m < 1:
+        raise ParameterError("edges_per_vertex must be >= 1")
+    if n < m + 1:
+        raise ParameterError(f"need n > edges_per_vertex, got n={n}, m={m}")
+    rng = random.Random(seed)
+    graph = star_graph(m)
+    # One entry per edge endpoint: sampling from it is degree-proportional.
+    repeated: list[int] = []
+    for u, v in graph.edges():
+        repeated.append(u)
+        repeated.append(v)
+    for new in range(m + 1, n):
+        targets: set[int] = set()
+        while len(targets) < m:
+            targets.add(repeated[rng.randrange(len(repeated))])
+        for t in targets:
+            graph.add_edge(new, t)
+            repeated.append(new)
+            repeated.append(t)
+    return graph
+
+
+def powerlaw_cluster_graph(
+    n: int, edges_per_vertex: int, triangle_probability: float, seed: int = 0
+) -> Graph:
+    """Holme–Kim powerlaw graph with tunable clustering.
+
+    Like :func:`barabasi_albert` but after each preferential attachment
+    step, with probability ``triangle_probability`` the next link closes a
+    triangle with a neighbour of the previous target.  This produces the
+    heavy-tailed *and* locally clustered structure of social graphs, which
+    Fig. 7 depends on.
+    """
+    m = edges_per_vertex
+    if m < 1:
+        raise ParameterError("edges_per_vertex must be >= 1")
+    if n < m + 1:
+        raise ParameterError(f"need n > edges_per_vertex, got n={n}, m={m}")
+    if not 0.0 <= triangle_probability <= 1.0:
+        raise ParameterError("triangle_probability must be in [0, 1]")
+    rng = random.Random(seed)
+    graph = star_graph(m)
+    repeated: list[int] = []
+    for u, v in graph.edges():
+        repeated.append(u)
+        repeated.append(v)
+    for new in range(m + 1, n):
+        links = 0
+        last_target: int | None = None
+        while links < m:
+            close_triangle = (
+                last_target is not None and rng.random() < triangle_probability
+            )
+            if close_triangle:
+                candidates = [
+                    w for w in graph.neighbors(last_target) if w != new
+                ]
+                target = rng.choice(candidates) if candidates else None
+            else:
+                target = None
+            if target is None:
+                target = repeated[rng.randrange(len(repeated))]
+                if target == new:
+                    continue
+            if graph.add_edge(new, target):
+                repeated.append(new)
+                repeated.append(target)
+                links += 1
+                last_target = target
+    return graph
+
+
+# ----------------------------------------------------------------------
+# configuration model
+# ----------------------------------------------------------------------
+def powerlaw_degree_sequence(
+    n: int,
+    exponent: float,
+    min_degree: int,
+    max_degree: int,
+    seed: int = 0,
+) -> list[int]:
+    """Sample a graphical power-law degree sequence.
+
+    Degrees are drawn from ``P(d) ∝ d^-exponent`` on
+    ``[min_degree, max_degree]`` by inverse-CDF sampling; the sum is made
+    even by bumping one entry.
+    """
+    if min_degree < 1 or max_degree < min_degree:
+        raise ParameterError(
+            f"need 1 <= min_degree <= max_degree, got [{min_degree}, {max_degree}]"
+        )
+    if max_degree >= n:
+        raise ParameterError("max_degree must be below n for a simple graph")
+    rng = random.Random(seed)
+    weights = [d ** (-exponent) for d in range(min_degree, max_degree + 1)]
+    total = sum(weights)
+    cumulative = []
+    acc = 0.0
+    for w in weights:
+        acc += w / total
+        cumulative.append(acc)
+    degrees = []
+    for _ in range(n):
+        r = rng.random()
+        lo, hi = 0, len(cumulative) - 1
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if cumulative[mid] < r:
+                lo = mid + 1
+            else:
+                hi = mid
+        degrees.append(min_degree + lo)
+    if sum(degrees) % 2 == 1:
+        degrees[0] += 1
+    return degrees
+
+
+def configuration_model(degrees: Sequence[int], seed: int = 0) -> Graph:
+    """Erased configuration model for a given degree sequence.
+
+    Stubs are shuffled and paired; self loops and parallel edges are
+    dropped (the standard "erased" variant), so realized degrees may fall
+    slightly below the requested sequence for the largest hubs.
+    """
+    if sum(degrees) % 2 != 0:
+        raise ParameterError("degree sequence must have an even sum")
+    rng = random.Random(seed)
+    stubs: list[int] = []
+    for v, d in enumerate(degrees):
+        if d < 0:
+            raise ParameterError(f"negative degree {d} for vertex {v}")
+        stubs.extend([v] * d)
+    rng.shuffle(stubs)
+    graph = Graph()
+    for v in range(len(degrees)):
+        graph.add_vertex(v)
+    for i in range(0, len(stubs) - 1, 2):
+        u, v = stubs[i], stubs[i + 1]
+        if u != v:
+            graph.add_edge(u, v)
+    return graph
+
+
+# ----------------------------------------------------------------------
+# community / small-world structure
+# ----------------------------------------------------------------------
+def planted_partition(
+    num_communities: int,
+    community_size: int,
+    p_in: float,
+    p_out: float,
+    seed: int = 0,
+) -> Graph:
+    """Planted-partition stochastic block model.
+
+    ``num_communities`` equal blocks; intra-block pairs connect with
+    ``p_in`` and inter-block pairs with ``p_out``.  High ``p_in`` yields
+    the dense-community structure of the Facebook/Orkut stand-ins, where
+    most vertices keep a large fraction of their neighbours inside any
+    reasonable core.
+    """
+    for name, p in (("p_in", p_in), ("p_out", p_out)):
+        if not 0.0 <= p <= 1.0:
+            raise ParameterError(f"{name} must be in [0, 1], got {p}")
+    rng = random.Random(seed)
+    n = num_communities * community_size
+    graph = Graph()
+    for v in range(n):
+        graph.add_vertex(v)
+    # Intra-community edges.
+    for c in range(num_communities):
+        base = c * community_size
+        for u, v in _gnp_pairs(community_size, p_in, rng):
+            graph.add_edge(base + u, base + v)
+    # Inter-community edges: sample expected count uniformly over cross pairs.
+    cross_pairs = (n * (n - 1)) // 2 - num_communities * (
+        community_size * (community_size - 1) // 2
+    )
+    expected = p_out * cross_pairs
+    target = int(expected) + (1 if rng.random() < expected - int(expected) else 0)
+    added = 0
+    while added < target:
+        u = rng.randrange(n)
+        v = rng.randrange(n)
+        if u == v or u // community_size == v // community_size:
+            continue
+        if graph.add_edge(u, v):
+            added += 1
+    return graph
+
+
+def heterogeneous_planted_partition(
+    sizes: Sequence[int],
+    p_in: float,
+    p_out: float,
+    seed: int = 0,
+    activity_spread: float = 0.0,
+) -> Graph:
+    """Planted partition with *unequal* community sizes.
+
+    With a flat ``p_in``, a member of a size-``s`` block has expected
+    internal degree ``p_in (s-1)``, so unequal blocks yield a spread of
+    degrees **and core numbers** — the skew that real dense social graphs
+    (Facebook circles, Orkut communities) show, and that the maintenance
+    algorithms' Theorem 2 skip rule depends on.
+
+    ``activity_spread`` (0..1) additionally varies *within-community*
+    degrees: each member gets an activity factor uniform in
+    ``[1 - spread, 1 + spread]`` and a pair connects with probability
+    ``p_in · a_u · a_v`` (clipped to 1).  Without it, every member of a
+    block peels at the same fraction level and the (k,p)-decomposition
+    degenerates to one giant level per array — unlike any real graph.
+    """
+    for name, p in (("p_in", p_in), ("p_out", p_out)):
+        if not 0.0 <= p <= 1.0:
+            raise ParameterError(f"{name} must be in [0, 1], got {p}")
+    if not 0.0 <= activity_spread < 1.0:
+        raise ParameterError(
+            f"activity_spread must be in [0, 1), got {activity_spread}"
+        )
+    if any(s < 1 for s in sizes):
+        raise ParameterError("every community size must be >= 1")
+    rng = random.Random(seed)
+    n = sum(sizes)
+    graph = Graph()
+    for v in range(n):
+        graph.add_vertex(v)
+    block_of = [0] * n
+    base = 0
+    for index, size in enumerate(sizes):
+        if activity_spread > 0.0:
+            activity = [
+                rng.uniform(1.0 - activity_spread, 1.0 + activity_spread)
+                for _ in range(size)
+            ]
+            for u in range(size):
+                for v in range(u + 1, size):
+                    if rng.random() < min(1.0, p_in * activity[u] * activity[v]):
+                        graph.add_edge(base + u, base + v)
+        else:
+            for u, v in _gnp_pairs(size, p_in, rng):
+                graph.add_edge(base + u, base + v)
+        for offset in range(size):
+            block_of[base + offset] = index
+        base += size
+    intra_pairs = sum(s * (s - 1) // 2 for s in sizes)
+    cross_pairs = n * (n - 1) // 2 - intra_pairs
+    expected = p_out * cross_pairs
+    target = int(expected) + (1 if rng.random() < expected - int(expected) else 0)
+    added = 0
+    while added < target:
+        u = rng.randrange(n)
+        v = rng.randrange(n)
+        if u == v or block_of[u] == block_of[v]:
+            continue
+        if graph.add_edge(u, v):
+            added += 1
+    return graph
+
+
+def watts_strogatz(n: int, k: int, beta: float, seed: int = 0) -> Graph:
+    """Watts–Strogatz small-world ring with rewiring probability ``beta``.
+
+    ``k`` (even) neighbours per vertex on the ring before rewiring.
+    """
+    if k % 2 != 0 or k < 2:
+        raise ParameterError(f"k must be a positive even integer, got {k}")
+    if n <= k:
+        raise ParameterError(f"need n > k, got n={n}, k={k}")
+    if not 0.0 <= beta <= 1.0:
+        raise ParameterError(f"beta must be in [0, 1], got {beta}")
+    rng = random.Random(seed)
+    graph = Graph()
+    for v in range(n):
+        graph.add_vertex(v)
+    for v in range(n):
+        for j in range(1, k // 2 + 1):
+            graph.add_edge(v, (v + j) % n)
+    if beta == 0.0:
+        return graph
+    for v in range(n):
+        for j in range(1, k // 2 + 1):
+            w = (v + j) % n
+            if rng.random() >= beta or not graph.has_edge(v, w):
+                continue
+            # Rewire (v, w) to (v, w') for a uniform non-neighbour w'.
+            choices = [
+                x for x in range(n) if x != v and not graph.has_edge(v, x)
+            ]
+            if not choices:
+                continue
+            graph.remove_edge(v, w)
+            graph.add_edge(v, rng.choice(choices))
+    return graph

@@ -1,0 +1,131 @@
+"""Edge-list input/output in the SNAP text format.
+
+The paper's datasets are SNAP downloads: whitespace-separated vertex pairs,
+one edge per line, ``#`` comment lines.  The reader tolerates duplicate
+edges and either orientation (they collapse into one undirected edge) and
+can optionally drop self loops, which appear in some raw SNAP files, instead
+of failing on them.
+"""
+
+from __future__ import annotations
+
+import io
+import os
+from typing import IO, Iterable, Iterator, Union
+
+from repro.errors import EdgeListParseError, SelfLoopError
+from repro.graph.adjacency import Edge, Graph
+
+__all__ = [
+    "read_edge_list",
+    "write_edge_list",
+    "iter_edge_list",
+    "parse_edge_list",
+]
+
+PathOrFile = Union[str, os.PathLike, IO[str]]
+
+
+def _open_for_read(source: PathOrFile) -> tuple[IO[str], bool]:
+    if hasattr(source, "read"):
+        return source, False  # caller-owned stream
+    return open(os.fspath(source), "r", encoding="utf-8"), True
+
+
+def iter_edge_list(
+    source: PathOrFile, comment: str = "#", int_vertices: bool = True
+) -> Iterator[Edge]:
+    """Yield edges from a SNAP-style edge list.
+
+    Parameters
+    ----------
+    source:
+        Path or text stream.
+    comment:
+        Lines starting with this prefix (after stripping) are skipped.
+    int_vertices:
+        When true (default), vertex tokens must parse as integers; when
+        false they are kept as strings.
+
+    Raises
+    ------
+    EdgeListParseError
+        For lines that are not blank, not comments, and not vertex pairs.
+    """
+    stream, owned = _open_for_read(source)
+    try:
+        for line_number, raw in enumerate(stream, start=1):
+            line = raw.strip()
+            if not line or line.startswith(comment):
+                continue
+            tokens = line.split()
+            if len(tokens) < 2:
+                raise EdgeListParseError(
+                    f"expected two vertex tokens, got {line!r}", line_number
+                )
+            u_token, v_token = tokens[0], tokens[1]
+            if int_vertices:
+                try:
+                    yield (int(u_token), int(v_token))
+                except ValueError:
+                    raise EdgeListParseError(
+                        f"non-integer vertex in {line!r}", line_number
+                    ) from None
+            else:
+                yield (u_token, v_token)
+    finally:
+        if owned:
+            stream.close()
+
+
+def read_edge_list(
+    source: PathOrFile,
+    comment: str = "#",
+    int_vertices: bool = True,
+    drop_self_loops: bool = True,
+) -> Graph:
+    """Read a :class:`~repro.graph.adjacency.Graph` from a SNAP edge list.
+
+    Duplicate edges merge silently.  Self loops are dropped by default
+    (matching how the paper's pre-processing treats raw SNAP data); with
+    ``drop_self_loops=False`` they raise
+    :class:`~repro.errors.SelfLoopError`.
+    """
+    graph = Graph()
+    for u, v in iter_edge_list(source, comment=comment, int_vertices=int_vertices):
+        if u == v:
+            if drop_self_loops:
+                graph.add_vertex(u)
+                continue
+            raise SelfLoopError(u)
+        graph.add_edge(u, v)
+    return graph
+
+
+def parse_edge_list(text: str, **kwargs) -> Graph:
+    """Parse an edge list from an in-memory string (testing convenience)."""
+    return read_edge_list(io.StringIO(text), **kwargs)
+
+
+def write_edge_list(
+    graph: Graph,
+    destination: PathOrFile,
+    header: Iterable[str] | None = None,
+) -> None:
+    """Write ``graph`` as a SNAP-style edge list.
+
+    ``header`` lines, if given, are emitted first as ``#`` comments.
+    """
+    if hasattr(destination, "write"):
+        stream, owned = destination, False
+    else:
+        stream, owned = open(os.fspath(destination), "w", encoding="utf-8"), True
+    try:
+        if header is not None:
+            for line in header:
+                stream.write(f"# {line}\n")
+        for u, v in graph.edges():
+            stream.write(f"{u} {v}\n")
+    finally:
+        if owned:
+            stream.close()

@@ -1,0 +1,161 @@
+"""Graph statistics used by the paper's effectiveness evaluation (Sec. VII-B).
+
+The paper reports, for each dataset and for each extracted core:
+
+* **graph density** ``2m / (n (n-1))`` (Fig. 8, citing [5]),
+* **global clustering coefficient** ``3 |triangles| / |connected triplets|``
+  (Fig. 7, citing [11]),
+* degree statistics ``d_avg`` and ``d_max`` (Table II).
+
+Triangle counting uses the standard degree-ordered enumeration, which is
+O(m^{3/2}) and exact.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.graph.adjacency import Graph
+
+__all__ = [
+    "density",
+    "average_degree",
+    "max_degree",
+    "triangle_count",
+    "connected_triplet_count",
+    "global_clustering_coefficient",
+    "degree_histogram",
+    "GraphSummary",
+    "summarize",
+]
+
+
+def density(graph: Graph) -> float:
+    """Graph density ``2m / (n (n-1))``; 0.0 for graphs with < 2 vertices."""
+    n = graph.num_vertices
+    if n < 2:
+        return 0.0
+    return 2.0 * graph.num_edges / (n * (n - 1))
+
+
+def average_degree(graph: Graph) -> float:
+    """Average degree ``2m / n``; 0.0 for the empty graph."""
+    n = graph.num_vertices
+    if n == 0:
+        return 0.0
+    return 2.0 * graph.num_edges / n
+
+
+def max_degree(graph: Graph) -> int:
+    """Maximum degree; 0 for the empty graph."""
+    return max((graph.degree(v) for v in graph.vertices()), default=0)
+
+
+def triangle_count(graph: Graph) -> int:
+    """Exact number of triangles.
+
+    Each triangle is counted once by orienting every edge from the
+    lower-ranked endpoint to the higher-ranked one (rank = (degree, id
+    order)) and intersecting out-neighbourhoods.
+    """
+    rank = {
+        v: i
+        for i, v in enumerate(
+            sorted(graph.vertices(), key=lambda v: (graph.degree(v), repr(v)))
+        )
+    }
+    forward: dict = {
+        v: {w for w in graph.neighbors(v) if rank[w] > rank[v]}
+        for v in graph.vertices()
+    }
+    triangles = 0
+    for v in graph.vertices():
+        fv = forward[v]
+        for w in fv:
+            triangles += len(fv & forward[w])
+    return triangles
+
+
+def connected_triplet_count(graph: Graph) -> int:
+    """Number of connected triplets (paths of length two), open or closed."""
+    return sum(
+        d * (d - 1) // 2 for d in (graph.degree(v) for v in graph.vertices())
+    )
+
+
+def global_clustering_coefficient(graph: Graph) -> float:
+    """Global clustering coefficient ``3 |triangles| / |triplets|``.
+
+    Returns 0.0 when the graph has no connected triplets.
+    """
+    triplets = connected_triplet_count(graph)
+    if triplets == 0:
+        return 0.0
+    return 3.0 * triangle_count(graph) / triplets
+
+
+def degree_histogram(graph: Graph) -> dict[int, int]:
+    """Return ``{degree: vertex count}``."""
+    histogram: dict[int, int] = {}
+    for v in graph.vertices():
+        d = graph.degree(v)
+        histogram[d] = histogram.get(d, 0) + 1
+    return histogram
+
+
+@dataclass(frozen=True)
+class GraphSummary:
+    """Table II-style dataset statistics."""
+
+    num_vertices: int
+    num_edges: int
+    average_degree: float
+    max_degree: int
+
+    def as_row(self, name: str) -> tuple[str, int, int, float, int]:
+        """One printable row of the Table II reproduction."""
+        return (
+            name,
+            self.num_vertices,
+            self.num_edges,
+            round(self.average_degree, 2),
+            self.max_degree,
+        )
+
+
+def summarize(graph: Graph) -> GraphSummary:
+    """Compute the Table II statistics for ``graph``."""
+    return GraphSummary(
+        num_vertices=graph.num_vertices,
+        num_edges=graph.num_edges,
+        average_degree=average_degree(graph),
+        max_degree=max_degree(graph),
+    )
+
+
+def effective_diameter_lower_bound(graph: Graph, source) -> int:
+    """Eccentricity of ``source`` — a cheap lower bound on the diameter.
+
+    Utility for dataset sanity checks; not part of the paper's tables.
+    """
+    from repro.graph.traversal import bfs_distances
+
+    dist = bfs_distances(graph, source)
+    return max(dist.values(), default=0)
+
+
+def gini_coefficient(values: list[float]) -> float:
+    """Gini coefficient of a non-negative sample (degree inequality checks).
+
+    Returns ``nan`` for empty input and 0.0 when every value is zero.
+    """
+    if not values:
+        return math.nan
+    ordered = sorted(values)
+    total = sum(ordered)
+    if total == 0:
+        return 0.0
+    n = len(ordered)
+    weighted = sum((i + 1) * x for i, x in enumerate(ordered))
+    return (2.0 * weighted) / (n * total) - (n + 1.0) / n

@@ -1,0 +1,97 @@
+"""Breadth-first traversal and connected components.
+
+These primitives back the Fig. 9 case study (connected components of the
+k-core / (k,p)-core) and several generators that must guarantee
+connectivity.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterable, Iterator
+
+from repro.errors import VertexNotFoundError
+from repro.graph.adjacency import Graph, Vertex
+
+__all__ = [
+    "bfs_order",
+    "bfs_distances",
+    "connected_components",
+    "component_of",
+    "is_connected",
+    "largest_component",
+]
+
+
+def bfs_order(graph: Graph, source: Vertex) -> Iterator[Vertex]:
+    """Yield vertices reachable from ``source`` in BFS order."""
+    if not graph.has_vertex(source):
+        raise VertexNotFoundError(source)
+    seen = {source}
+    queue = deque([source])
+    while queue:
+        v = queue.popleft()
+        yield v
+        for w in graph.neighbors(v):
+            if w not in seen:
+                seen.add(w)
+                queue.append(w)
+
+
+def bfs_distances(graph: Graph, source: Vertex) -> dict[Vertex, int]:
+    """Return hop distances from ``source`` to every reachable vertex."""
+    if not graph.has_vertex(source):
+        raise VertexNotFoundError(source)
+    dist = {source: 0}
+    queue = deque([source])
+    while queue:
+        v = queue.popleft()
+        base = dist[v]
+        for w in graph.neighbors(v):
+            if w not in dist:
+                dist[w] = base + 1
+                queue.append(w)
+    return dist
+
+
+def component_of(graph: Graph, source: Vertex) -> set[Vertex]:
+    """Return the vertex set of the connected component containing ``source``."""
+    return set(bfs_order(graph, source))
+
+
+def connected_components(graph: Graph) -> list[set[Vertex]]:
+    """Return all connected components, largest first (ties by discovery)."""
+    seen: set[Vertex] = set()
+    components: list[set[Vertex]] = []
+    for v in graph.vertices():
+        if v in seen:
+            continue
+        component = component_of(graph, v)
+        seen |= component
+        components.append(component)
+    components.sort(key=len, reverse=True)
+    return components
+
+
+def is_connected(graph: Graph) -> bool:
+    """Return whether the graph is connected (empty graphs count as connected)."""
+    n = graph.num_vertices
+    if n <= 1:
+        return True
+    first = next(graph.vertices())
+    return len(component_of(graph, first)) == n
+
+
+def largest_component(graph: Graph) -> Graph:
+    """Return the induced subgraph on the largest connected component."""
+    components = connected_components(graph)
+    if not components:
+        return Graph()
+    return graph.induced_subgraph(components[0])
+
+
+def ensure_vertices(graph: Graph, vertices: Iterable[Vertex]) -> None:
+    """Validate that every vertex in ``vertices`` exists in ``graph``."""
+    for v in vertices:
+        if not graph.has_vertex(v):
+            raise VertexNotFoundError(v)

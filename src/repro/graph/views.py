@@ -1,0 +1,56 @@
+"""Subgraph sampling used by the scalability experiments (Figs. 14 and 16).
+
+The paper scales Orkut by "randomly sampling nodes (resp. edges) from 20%
+to 100%" and running on the induced subgraphs.  Both samplers are
+deterministic given a seed.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from repro.errors import ParameterError
+from repro.graph.adjacency import Graph
+
+__all__ = ["sample_vertices", "sample_edges", "sample_ratios"]
+
+#: The sampling grid the paper uses on the x-axis of Figs. 14 and 16.
+sample_ratios: Sequence[float] = (0.2, 0.4, 0.6, 0.8, 1.0)
+
+
+def _check_ratio(ratio: float) -> None:
+    if not 0.0 < ratio <= 1.0:
+        raise ParameterError(f"sample ratio must be in (0, 1], got {ratio}")
+
+
+def sample_vertices(graph: Graph, ratio: float, seed: int = 0) -> Graph:
+    """Induced subgraph on a uniform ``ratio`` fraction of the vertices.
+
+    ``ratio=1.0`` returns a copy of the full graph so that callers can
+    treat all grid points uniformly.
+    """
+    _check_ratio(ratio)
+    if ratio == 1.0:
+        return graph.copy()
+    rng = random.Random(seed)
+    vertices = list(graph.vertices())
+    keep_count = max(1, round(ratio * len(vertices)))
+    keep = rng.sample(vertices, keep_count)
+    return graph.induced_subgraph(keep)
+
+
+def sample_edges(graph: Graph, ratio: float, seed: int = 0) -> Graph:
+    """Subgraph spanned by a uniform ``ratio`` fraction of the edges.
+
+    Vertices that lose all incident edges are dropped, matching the
+    "induced subgraph of the sampled edge set" construction in the paper.
+    """
+    _check_ratio(ratio)
+    if ratio == 1.0:
+        return graph.copy()
+    rng = random.Random(seed)
+    edges = list(graph.edges())
+    keep_count = max(1, round(ratio * len(edges)))
+    keep = rng.sample(edges, keep_count)
+    return Graph(keep)

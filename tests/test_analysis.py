@@ -1,0 +1,160 @@
+"""Tests for the effectiveness analyses (Figs. 6-10 logic)."""
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.graph.adjacency import Graph
+from repro.graph.generators import erdos_renyi_gnm, planted_partition
+from repro.analysis.casestudy import case_study, departure_cascade
+from repro.analysis.comparison import compare_cores, comparison_table
+from repro.analysis.engagement import (
+    engagement_by_core_number,
+    engagement_by_kp_stratum,
+    engagement_by_onion_layer,
+    stratum_spread,
+)
+from repro.core.decomposition import kp_core_decomposition
+from repro.core.kpcore import kp_core_vertices
+from repro.kcore.compute import k_core_vertices
+
+
+class TestComparison:
+    def test_compare_cores_counts(self, cascade_graph):
+        c = compare_cores(cascade_graph, 2, 2 / 3, name="cascade")
+        assert c.kcore_vertices == 3  # the triangle {3, 5, 6}
+        assert c.kpcore_vertices == 3
+        assert c.size_ratio == pytest.approx(1.0)
+        trimming = compare_cores(cascade_graph, 2, 0.7)
+        assert trimming.kpcore_vertices == 0
+
+    def test_empty_kp_core_ratio_is_inf(self, cascade_graph):
+        c = compare_cores(cascade_graph, 2, 0.9)
+        assert c.kpcore_vertices == 0
+        assert c.size_ratio == float("inf")
+
+    def test_kp_core_never_less_clustered_on_community_graph(self):
+        g = planted_partition(3, 12, 0.8, 0.03, seed=1)
+        c = compare_cores(g, 3, 0.6)
+        assert c.kpcore_clustering >= c.kcore_clustering - 1e-9
+
+    def test_comparison_table_names(self):
+        graphs = {
+            "a": erdos_renyi_gnm(15, 40, seed=1),
+            "b": erdos_renyi_gnm(15, 40, seed=2),
+        }
+        rows = comparison_table(graphs, 2, 0.5)
+        assert [c.name for c in rows] == ["a", "b"]
+
+
+class TestEngagement:
+    @pytest.fixture
+    def labelled(self):
+        g = planted_partition(2, 10, 0.8, 0.05, seed=2)
+        decomposition = kp_core_decomposition(g)
+        activity = {v: 10 * decomposition.core_numbers[v] + 1 for v in g.vertices()}
+        return g, decomposition, activity
+
+    def test_core_number_series(self, labelled):
+        g, decomposition, activity = labelled
+        points = engagement_by_core_number(g, activity, decomposition)
+        xs = [p.x for p in points]
+        assert xs == sorted(xs)
+        assert sum(p.count for p in points) == g.num_vertices
+        # averages recover the planted monotone signal
+        averages = [p.average for p in points]
+        assert averages == sorted(averages)
+
+    def test_kp_stratum_series_positions(self, labelled):
+        g, decomposition, activity = labelled
+        points = engagement_by_kp_stratum(g, activity, decomposition)
+        assert sum(p.count for p in points) == sum(
+            1 for v in g.vertices() if decomposition.core_numbers[v] >= 1
+        )
+        for point in points:
+            # x = k + pn - 0.5 with pn in (0, 1]
+            assert point.x > 0.5
+
+    def test_onion_series(self, labelled):
+        g, _, activity = labelled
+        points = engagement_by_onion_layer(g, activity)
+        assert sum(p.count for p in points) == g.num_vertices
+
+    def test_stratum_spread(self):
+        from repro.analysis.engagement import EngagementPoint
+
+        points = [
+            EngagementPoint(1.0, 10.0, 5),
+            EngagementPoint(2.0, 40.0, 5),
+        ]
+        assert stratum_spread(points) == pytest.approx(4.0)
+        assert stratum_spread([]) == 0.0
+
+
+def gateway_graph() -> Graph:
+    """K4 {a,b,c,d} plus a gateway ``e`` with three inside and three
+    outside neighbours — the Fig. 9 situation where the minimum-fraction
+    member leaves and is trimmed from the (k,p)-core."""
+    g = Graph()
+    clique = ["a", "b", "c", "d"]
+    for i, u in enumerate(clique):
+        for v in clique[i + 1 :]:
+            g.add_edge(u, v)
+    for w in ("a", "b", "c"):
+        g.add_edge("e", w)
+    for i in range(3):
+        g.add_edge("e", f"out{i}")
+    return g
+
+
+class TestCaseStudy:
+    def test_report_structure(self, cascade_graph):
+        report = case_study(cascade_graph, 2, 2 / 3)
+        assert report.members == {3, 5, 6}
+        assert report.kp_members == {3, 5, 6}
+        assert report.min_fraction_vertex == 3
+        assert "component of 3" in report.summary()
+
+    def test_gateway_is_trimmed(self):
+        g = gateway_graph()
+        report = case_study(g, 3, 0.6)
+        assert report.members == {"a", "b", "c", "d", "e"}
+        assert report.kp_members == {"a", "b", "c", "d"}
+        assert report.trimmed == {"e"}
+        assert report.min_fraction_vertex == "e"
+        assert report.fractions["e"] == pytest.approx(0.5)
+
+    def test_cascade_mechanics(self, cascade_graph):
+        # removing vertex 3 from the triangle collapses 5 and 6 too
+        steps = departure_cascade(
+            cascade_graph, [3, 5, 6], leaver=3, k=2, p=0.5
+        )
+        assert {s.vertex for s in steps} == {3, 5, 6}
+        assert steps[0].vertex == 3
+
+    def test_cascade_requires_member_leaver(self, cascade_graph):
+        with pytest.raises(ParameterError):
+            departure_cascade(cascade_graph, [3, 5, 6], leaver=99, k=2, p=0.5)
+
+    def test_empty_k_core_raises(self, triangle):
+        with pytest.raises(ParameterError):
+            case_study(triangle, 5, 0.5)
+
+    def test_component_rank_out_of_range(self, triangle):
+        with pytest.raises(ParameterError):
+            case_study(triangle, 2, 0.5, component_rank=3)
+
+    def test_fractions_match_definition(self, cascade_graph):
+        report = case_study(cascade_graph, 2, 0.5)
+        core = k_core_vertices(cascade_graph, 2)
+        for v, frac in report.fractions.items():
+            inside = sum(
+                1 for w in cascade_graph.neighbors(v) if w in report.members
+            )
+            assert frac == pytest.approx(inside / cascade_graph.degree(v))
+        assert report.members <= core
+
+    def test_kp_members_consistent_with_direct(self):
+        g = planted_partition(2, 12, 0.7, 0.05, seed=3)
+        report = case_study(g, 3, 0.5)
+        direct = kp_core_vertices(g, 3, 0.5)
+        assert report.kp_members == direct & report.members

@@ -1,0 +1,82 @@
+"""Tests for the Fig. 9 DOT export."""
+
+import io
+
+from repro.analysis.casestudy import case_study
+from repro.analysis.visualization import component_to_dot, write_component_dot
+from repro.graph.generators import planted_partition
+
+
+def make_report():
+    graph = planted_partition(2, 10, 0.75, 0.04, seed=11)
+    return graph, case_study(graph, 3, 0.6)
+
+
+class TestDotStructure:
+    def test_valid_shape(self):
+        graph, report = make_report()
+        dot = component_to_dot(graph, report)
+        assert dot.startswith("graph kp_case_study {")
+        assert dot.rstrip().endswith("}")
+        assert dot.count("{") == dot.count("}")
+
+    def test_members_colored_by_survival(self):
+        graph, report = make_report()
+        dot = component_to_dot(graph, report, include_halo=False)
+        survivors = sum(dot.count("#4477dd") for _ in (1,))
+        trimmed = dot.count("#555555")
+        assert survivors == len(report.kp_members)
+        assert trimmed == len(report.trimmed)
+
+    def test_min_fraction_vertex_highlighted(self):
+        graph, report = make_report()
+        dot = component_to_dot(graph, report)
+        assert "peripheries=2" in dot
+
+    def test_halo_toggle(self):
+        graph, report = make_report()
+        with_halo = component_to_dot(graph, report, include_halo=True)
+        without = component_to_dot(graph, report, include_halo=False)
+        assert with_halo.count("#cccccc") >= without.count("#cccccc")
+        assert len(with_halo) >= len(without)
+
+    def test_edges_within_component_present(self):
+        graph, report = make_report()
+        dot = component_to_dot(graph, report, include_halo=False)
+        members = sorted(report.members)
+        u, v = None, None
+        for a in members:
+            for b in graph.neighbors(a):
+                if b in report.members:
+                    u, v = a, b
+                    break
+            if u is not None:
+                break
+        assert f'"{u}" -- "{v}"' in dot or f'"{v}" -- "{u}"' in dot
+
+    def test_labels_quoted_safely(self):
+        from repro.graph.adjacency import Graph
+        from repro.analysis.casestudy import case_study as study
+
+        g = Graph()
+        names = ['he"llo', "world", "x", "y"]
+        for i, a in enumerate(names):
+            for b in names[i + 1 :]:
+                g.add_edge(a, b)
+        report = study(g, 2, 0.5)
+        dot = component_to_dot(g, report)
+        assert '\\"' in dot  # the quote survived, escaped
+
+
+class TestWriting:
+    def test_write_to_stream(self):
+        graph, report = make_report()
+        buffer = io.StringIO()
+        write_component_dot(graph, report, buffer)
+        assert buffer.getvalue().startswith("graph")
+
+    def test_write_to_path(self, tmp_path):
+        graph, report = make_report()
+        target = tmp_path / "case.dot"
+        write_component_dot(graph, report, str(target))
+        assert target.read_text().startswith("graph")

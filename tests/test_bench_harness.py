@@ -1,0 +1,116 @@
+"""Tests for the benchmark harness (timing, reporting, experiment smoke)."""
+
+import pytest
+
+from repro.bench.reporting import banner, format_seconds, format_table, print_table
+from repro.bench.timing import Timer, measure
+
+
+class TestTiming:
+    def test_timer_context(self):
+        with Timer() as t:
+            total = sum(range(2000))
+        assert total == 1999000
+        assert t.seconds >= 0.0
+
+    def test_measure_returns_last_result_and_best_time(self):
+        calls = []
+
+        def fn():
+            calls.append(1)
+            return len(calls)
+
+        timing = measure(fn, repeat=3)
+        assert timing.result == 3
+        assert timing.seconds >= 0.0
+
+    def test_measure_validates_repeat(self):
+        with pytest.raises(ValueError):
+            measure(lambda: None, repeat=0)
+
+
+class TestReporting:
+    def test_format_seconds_scales(self):
+        assert format_seconds(2.5) == "2.50s"
+        assert format_seconds(0.0042).endswith("ms")
+        assert format_seconds(0.0000042).endswith("us")
+
+    def test_format_table_alignment(self):
+        text = format_table(
+            ["name", "value"], [("alpha", 1), ("b", 123456)]
+        )
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("name")
+        widths = {len(line) for line in lines}
+        assert len(widths) == 1  # fully aligned
+
+    def test_float_formatting(self):
+        text = format_table(["x"], [(0.123456789,)])
+        assert "0.123457" in text
+
+    def test_print_table_with_title(self, capsys):
+        print_table(["h"], [(1,)], title="Demo")
+        out = capsys.readouterr().out
+        assert "=== Demo ===" in out
+        assert "h" in out
+
+    def test_banner(self):
+        assert banner("X") == "\n=== X ==="
+
+
+class TestExperimentSmoke:
+    """Cheap smoke checks on the experiment drivers (full runs live in
+    benchmarks/)."""
+
+    def test_table2_rows(self):
+        from repro.bench.experiments import table2_rows
+
+        headers, rows = table2_rows()
+        assert len(rows) == 8
+        assert headers[0] == "dataset"
+        names = [row[0] for row in rows]
+        assert names[0] == "facebook" and names[-1] == "orkut"
+
+    def test_fig6_shape(self):
+        from repro.bench.experiments import fig6_rows
+
+        _, rows = fig6_rows()
+        by_name = {row[0]: row for row in rows}
+        # the fraction constraint bites on the sparse datasets ...
+        for name in ("brightkite", "gowalla", "youtube", "pokec", "dblp"):
+            assert by_name[name][1] > by_name[name][2] > 0, name
+        # ... but barely on the dense ones (paper Fig. 6)
+        for name in ("facebook", "orkut"):
+            kcore, kpcore = by_name[name][1], by_name[name][2]
+            assert kpcore >= 0.7 * kcore, name
+
+    def test_fig7_fig8_shapes(self):
+        from repro.bench.experiments import fig7_rows, fig8_rows
+
+        _, cc_rows = fig7_rows()
+        for name, cc_k, cc_kp in cc_rows:
+            assert cc_kp >= cc_k - 1e-9, name
+        _, rho_rows = fig8_rows()
+        denser = sum(1 for _, rho_k, rho_kp in rho_rows if rho_kp >= rho_k)
+        assert denser >= 6  # paper: "higher on most datasets"
+
+    def test_fig10_series_shapes(self):
+        from repro.bench.experiments import fig10_series
+
+        series = fig10_series()
+        assert set(series) == {"core_number", "kp_stratum", "onion_layer"}
+        core_points = series["core_number"]
+        # engagement rises with core number overall
+        assert core_points[-1].average > core_points[0].average
+        # the kp decomposition is strictly finer than the core one
+        assert len(series["kp_stratum"]) > len(core_points)
+
+    def test_fig9_reports(self):
+        from repro.bench.experiments import fig9_reports
+
+        reports = fig9_reports()
+        assert len(reports) == 2
+        for label, report in reports:
+            assert label.startswith("DBLP-")
+            assert len(report.cascade) >= 1

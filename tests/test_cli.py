@@ -1,0 +1,95 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.graph.io import write_edge_list
+
+
+@pytest.fixture
+def edge_list_file(tmp_path, figure1_like_graph):
+    path = tmp_path / "graph.txt"
+    write_edge_list(figure1_like_graph, path)
+    return str(path)
+
+
+class TestStats:
+    def test_prints_counts(self, edge_list_file, capsys):
+        assert main(["stats", edge_list_file]) == 0
+        out = capsys.readouterr().out
+        assert "vertices" in out
+        assert "degeneracy" in out
+
+    def test_missing_file(self, capsys):
+        assert main(["stats", "/no/such/file"]) == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestKpCore:
+    def test_members_printed(self, edge_list_file, capsys):
+        assert main(["kpcore", edge_list_file, "-k", "3", "-p", "0.5"]) == 0
+        out = capsys.readouterr().out
+        assert "-core:" in out
+
+    def test_invalid_p_reports_error(self, edge_list_file, capsys):
+        assert main(["kpcore", edge_list_file, "-k", "3", "-p", "1.5"]) == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestDecompose:
+    def test_p_numbers_listed(self, edge_list_file, capsys):
+        assert main(["decompose", edge_list_file, "-k", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "p-numbers for k=2" in out
+        # tab-separated vertex/value lines
+        lines = [l for l in out.splitlines() if "\t" in l]
+        assert lines
+        for line in lines:
+            float(line.split("\t")[1])
+
+
+class TestIndexCommands:
+    def test_build_then_query_round_trip(self, edge_list_file, tmp_path, capsys):
+        index_path = str(tmp_path / "index.json")
+        assert main(["index", "build", edge_list_file, "-o", index_path]) == 0
+        payload = json.load(open(index_path))
+        assert "arrays" in payload
+        capsys.readouterr()
+        assert main(["index", "query", index_path, "-k", "3", "-p", "0.5"]) == 0
+        out = capsys.readouterr().out
+        assert "(3,0.5)-core" in out
+
+
+class TestDataset:
+    def test_stats_only(self, capsys):
+        assert main(["dataset", "facebook"]) == 0
+        out = capsys.readouterr().out
+        assert "facebook" in out and "davg" in out
+
+    def test_write_edge_list(self, tmp_path, capsys):
+        target = str(tmp_path / "fb.txt")
+        assert main(["dataset", "facebook", "-o", target]) == 0
+        content = open(target).read()
+        assert content.startswith("# synthetic stand-in for facebook")
+
+    def test_unknown_dataset(self, capsys):
+        assert main(["dataset", "imaginary"]) == 1
+        assert "unknown dataset" in capsys.readouterr().err
+
+
+class TestReport:
+    def test_table2(self, capsys):
+        assert main(["report", "table2"]) == 0
+        out = capsys.readouterr().out
+        assert "orkut" in out
+
+    def test_fig6(self, capsys):
+        assert main(["report", "fig6"]) == 0
+        out = capsys.readouterr().out
+        assert "|k-core|" in out
+
+    def test_rejects_unknown_experiment(self):
+        with pytest.raises(SystemExit):
+            main(["report", "fig99"])

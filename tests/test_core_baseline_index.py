@@ -1,0 +1,72 @@
+"""Tests for the materialized-cores baseline index."""
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.graph.adjacency import Graph
+from repro.graph.generators import erdos_renyi_gnm, planted_partition
+from repro.core.baseline_index import MaterializedIndex
+from repro.core.index import KPIndex
+from repro.core.kpcore import kp_core_vertices
+
+
+class TestQueries:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_agrees_with_kp_index(self, seed):
+        g = erdos_renyi_gnm(22, 66, seed=seed)
+        baseline = MaterializedIndex.build(g)
+        index = KPIndex.build(g)
+        for k in range(1, baseline.degeneracy + 2):
+            for p in (0.0, 0.3, 0.5, 0.75, 1.0):
+                assert set(baseline.query(k, p)) == set(index.query(k, p))
+
+    def test_agrees_with_direct_computation(self):
+        g = planted_partition(2, 9, 0.8, 0.05, seed=1)
+        baseline = MaterializedIndex.build(g)
+        for k in (1, 2, 3):
+            for p in (0.4, 0.6, 0.9):
+                assert set(baseline.query(k, p)) == kp_core_vertices(g, k, p)
+
+    def test_out_of_range(self, triangle):
+        baseline = MaterializedIndex.build(triangle)
+        assert baseline.query(9, 0.5) == []
+        with pytest.raises(ParameterError):
+            baseline.query(0, 0.5)
+        with pytest.raises(ParameterError):
+            baseline.query(1, 2.0)
+
+    def test_empty_graph(self):
+        baseline = MaterializedIndex.build(Graph())
+        assert baseline.degeneracy == 0
+        assert baseline.query(1, 0.5) == []
+
+
+class TestSpace:
+    def test_baseline_never_smaller(self):
+        # the materialized design stores every vertex once per level at or
+        # below its p-number; the KP-Index stores it exactly once per array
+        for seed in range(4):
+            g = erdos_renyi_gnm(25, 80, seed=seed)
+            baseline = MaterializedIndex.build(g)
+            index = KPIndex.build(g)
+            assert (
+                baseline.vertex_entries()
+                >= index.space_stats().vertex_entries
+            )
+
+    def test_blowup_grows_with_level_count(self):
+        # realistic level-rich graphs inflate the baseline severely: each
+        # vertex is stored once per level at or below its own
+        from repro.datasets import load
+
+        g = load("brightkite")
+        baseline = MaterializedIndex.build(g)
+        index = KPIndex.build(g)
+        ratio = baseline.vertex_entries() / index.space_stats().vertex_entries
+        assert ratio > 2.0
+
+    def test_level_entries_match_kp_index(self):
+        g = erdos_renyi_gnm(20, 55, seed=8)
+        baseline = MaterializedIndex.build(g)
+        index = KPIndex.build(g)
+        assert baseline.level_entries() == index.space_stats().p_number_entries

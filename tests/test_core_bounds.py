@@ -1,0 +1,165 @@
+"""Unit tests for the p-number bounds of Sec. VI.
+
+Includes the regression case showing why the paper's literal grid bounds
+are insufficient and the corrected forms are required.
+"""
+
+import pytest
+
+from repro.graph.generators import erdos_renyi_gnm
+from repro.core.bounds import (
+    BoundsCache,
+    deletion_pair_bound,
+    degree_in,
+    fraction_in,
+    insertion_support_bound,
+    p_hat,
+    p_tilde,
+    scaled_h_index,
+    upper_h_value,
+)
+from repro.core.decomposition import p_numbers_fixed_k
+from repro.kcore.compute import k_core_vertices
+from repro.kcore.decomposition import core_decomposition
+
+
+class TestHValues:
+    def test_grid_h_index(self):
+        assert scaled_h_index([1.0, 0.8, 0.5], 4) == pytest.approx(0.5)
+        assert scaled_h_index([], 5) == 0.0
+        assert scaled_h_index([0.1], 0) == 0.0
+
+    def test_upper_h_dominates_grid(self):
+        import random
+
+        rng = random.Random(3)
+        for _ in range(300):
+            values = [rng.random() for _ in range(rng.randint(0, 12))]
+            d = rng.randint(1, 15)
+            assert upper_h_value(values, d) >= scaled_h_index(values, d)
+
+    def test_upper_h_known_case(self):
+        # the cascade example: values [1, 2/3], denominator 2
+        assert upper_h_value([1.0, 2 / 3], 2) == pytest.approx(2 / 3)
+        assert scaled_h_index([1.0, 2 / 3], 2) == pytest.approx(0.5)
+
+    def test_upper_h_order_insensitive(self):
+        assert upper_h_value([0.2, 0.9, 0.5], 3) == upper_h_value(
+            [0.9, 0.5, 0.2], 3
+        )
+
+
+class TestSetHelpers:
+    def test_degree_and_fraction_in(self, triangle_with_tail):
+        members = {0, 1, 2}
+        assert degree_in(triangle_with_tail, members, 0) == 2
+        assert fraction_in(triangle_with_tail, members, 0) == pytest.approx(2 / 3)
+
+
+class TestUpperBoundsAreSound:
+    def test_cascade_regression(self, cascade_graph):
+        """The paper's Lemma 2 grid bound under-estimates on cascades."""
+        g = cascade_graph
+        kcore = k_core_vertices(g, 2)
+        pn = p_numbers_fixed_k(g, 2)
+        # vertex 5 has pn = 2/3 but the grid bound says 1/2
+        grid = scaled_h_index(
+            [fraction_in(g, kcore, x) for x in g.neighbors(5) if x in kcore],
+            g.degree(5),
+        )
+        assert grid < pn[5]
+        # the corrected bounds remain sound
+        assert p_hat(g, kcore, 5) >= pn[5]
+        assert p_tilde(g, kcore, 5) >= pn[5]
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_p_hat_and_p_tilde_dominate_pn(self, seed):
+        g = erdos_renyi_gnm(18, 50, seed=seed)
+        d = core_decomposition(g).degeneracy
+        for k in range(1, d + 1):
+            kcore = k_core_vertices(g, k)
+            pn = p_numbers_fixed_k(g, k)
+            cache = BoundsCache(g, kcore)
+            for w in kcore:
+                hat = cache.p_hat(w)
+                tilde = cache.p_tilde(w)
+                assert hat >= pn[w] - 1e-12, (seed, k, w)
+                assert tilde >= pn[w] - 1e-12, (seed, k, w)
+                # Lemma 3 ordering: p_hat >= p_tilde
+                assert hat >= tilde - 1e-12
+
+    def test_cache_matches_direct(self, cascade_graph):
+        kcore = k_core_vertices(cascade_graph, 2)
+        cache = BoundsCache(cascade_graph, kcore)
+        for w in kcore:
+            assert cache.p_hat(w) == p_hat(cascade_graph, kcore, w)
+            assert cache.p_tilde(w) == p_tilde(cascade_graph, kcore, w)
+
+
+class TestLowerBoundsAreSound:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_insertion_bound(self, seed):
+        """After inserting (u,v) with cn(u) < k <= cn(v), the bound must
+        not exceed v's new p-number."""
+        import random
+
+        rng = random.Random(seed)
+        g = erdos_renyi_gnm(16, 44, seed=seed)
+        cd = core_decomposition(g)
+        vertices = list(g.vertices())
+        for _ in range(15):
+            u, v = rng.sample(vertices, 2)
+            if g.has_edge(u, v):
+                continue
+            cn_u, cn_v = cd.core_numbers[u], cd.core_numbers[v]
+            if cn_u >= cn_v:
+                u, v, cn_u, cn_v = v, u, cn_v, cn_u
+            for k in range(cn_u + 1, cn_v + 1):
+                pn_before = p_numbers_fixed_k(g, k)
+                if v not in pn_before:
+                    continue
+                p1 = pn_before[v]
+                core_at_p1 = {w for w, x in pn_before.items() if x >= p1}
+                g.add_edge(u, v)
+                try:
+                    bound = insertion_support_bound(g, core_at_p1, v, p1)
+                    pn_after = p_numbers_fixed_k(g, k).get(v, 0.0)
+                    assert bound <= pn_after + 1e-12, (seed, u, v, k)
+                finally:
+                    g.remove_edge(u, v)
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_deletion_bound(self, seed):
+        """After deleting (u,v), vertices below the pair bound keep their
+        p-numbers (the Thm. 8 guarantee under the corrected bound)."""
+        import random
+
+        rng = random.Random(100 + seed)
+        g = erdos_renyi_gnm(16, 48, seed=200 + seed)
+        cd = core_decomposition(g)
+        edges = list(g.edges())
+        for u, v in rng.sample(edges, min(10, len(edges))):
+            low = min(cd.core_numbers[u], cd.core_numbers[v])
+            for k in range(2, low + 1):
+                pn_before = p_numbers_fixed_k(g, k)
+                if u not in pn_before or v not in pn_before:
+                    continue
+                p1 = min(pn_before[u], pn_before[v])
+                core_at_p1 = {w for w, x in pn_before.items() if x >= p1}
+                g.remove_edge(u, v)
+                try:
+                    bound = deletion_pair_bound(g, core_at_p1, u, v, k, p1)
+                    pn_after = p_numbers_fixed_k(g, k)
+                    for w, old in pn_before.items():
+                        if old < bound:
+                            assert pn_after.get(w) == old, (seed, u, v, k, w)
+                finally:
+                    g.add_edge(u, v)
+
+    def test_deletion_bound_collapsed_witness_is_zero(self, cascade_graph):
+        g = cascade_graph.copy()
+        pn = p_numbers_fixed_k(g, 2)
+        core = {w for w, x in pn.items() if x >= pn[3]}
+        g.remove_edge(3, 5)
+        # vertex 5 keeps only one member-neighbour: witness collapses
+        assert deletion_pair_bound(g, core, 3, 5, 2, pn[3]) == 0.0

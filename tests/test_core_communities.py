@@ -1,0 +1,126 @@
+"""Tests for community views over (k,p)-cores."""
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.graph.adjacency import Graph
+from repro.graph.generators import erdos_renyi_gnm, planted_partition
+from repro.core.communities import (
+    kp_communities,
+    kp_community_of,
+    parameter_grid,
+    strongest_community_parameters,
+)
+from repro.core.decomposition import kp_core_decomposition
+from repro.core.kpcore import kp_core_vertices
+
+
+@pytest.fixture
+def two_cliques():
+    """Two disjoint K4s joined by nothing — two communities at (3, 0.9)."""
+    g = Graph()
+    for base in (0, 10):
+        block = [base + i for i in range(4)]
+        for i, u in enumerate(block):
+            for v in block[i + 1 :]:
+                g.add_edge(u, v)
+    return g
+
+
+class TestCommunities:
+    def test_disjoint_cliques_split(self, two_cliques):
+        communities = kp_communities(two_cliques, 3, 0.9)
+        assert len(communities) == 2
+        assert {frozenset(c.vertices) for c in communities} == {
+            frozenset({0, 1, 2, 3}),
+            frozenset({10, 11, 12, 13}),
+        }
+
+    def test_sorted_largest_first(self):
+        g = planted_partition(2, 8, 0.9, 0.0, seed=1)
+        g.add_edge(100, 101)  # dust, never in a 3-core
+        communities = kp_communities(g, 3, 0.5)
+        sizes = [len(c) for c in communities]
+        assert sizes == sorted(sizes, reverse=True)
+
+    def test_union_is_the_core(self):
+        g = erdos_renyi_gnm(30, 90, seed=2)
+        communities = kp_communities(g, 2, 0.5)
+        union = set()
+        for c in communities:
+            union |= c.vertices
+        assert union == kp_core_vertices(g, 2, 0.5)
+
+    def test_empty_core_gives_no_communities(self, triangle):
+        assert kp_communities(triangle, 5, 0.5) == []
+
+    def test_induced_view(self, two_cliques):
+        community = kp_communities(two_cliques, 3, 0.9)[0]
+        sub = community.induced(two_cliques)
+        assert sub.num_vertices == 4
+        assert sub.num_edges == 6
+
+
+class TestCommunityOf:
+    def test_member_lookup(self, two_cliques):
+        community = kp_community_of(two_cliques, 11, 3, 0.9)
+        assert community is not None
+        assert community.vertices == frozenset({10, 11, 12, 13})
+
+    def test_outsider_gives_none(self, triangle_with_tail):
+        assert kp_community_of(triangle_with_tail, 3, 2, 0.9) is None
+
+
+class TestStrongestParameters:
+    def test_matches_decomposition(self):
+        g = erdos_renyi_gnm(20, 60, seed=3)
+        decomposition = kp_core_decomposition(g)
+        for v in g.vertices():
+            answer = strongest_community_parameters(g, v, decomposition)
+            cn = decomposition.core_numbers[v]
+            if cn == 0:
+                assert answer is None
+            else:
+                k, p = answer
+                assert k == cn
+                assert p == decomposition.arrays[cn].pn_map()[v]
+
+    def test_vertex_is_in_its_strongest_community(self):
+        g = erdos_renyi_gnm(20, 60, seed=4)
+        for v in list(g.vertices())[:8]:
+            answer = strongest_community_parameters(g, v)
+            if answer is None:
+                continue
+            k, p = answer
+            assert v in kp_core_vertices(g, k, p)
+
+    def test_isolated_vertex(self):
+        g = Graph([(0, 1)])
+        g.add_vertex(9)
+        assert strongest_community_parameters(g, 9) is None
+
+
+class TestParameterGrid:
+    def test_grid_shape_and_monotonicity(self):
+        g = planted_partition(3, 10, 0.7, 0.05, seed=5)
+        cells = parameter_grid(g, ks=(1, 2, 3), ps=(0.2, 0.5, 0.8))
+        assert len(cells) == 9
+        # core size shrinks along p for each fixed k
+        for k in (1, 2, 3):
+            sizes = [c.core_size for c in cells if c.k == k]
+            assert sizes == sorted(sizes, reverse=True)
+
+    def test_cells_match_direct_computation(self):
+        g = erdos_renyi_gnm(18, 50, seed=6)
+        for cell in parameter_grid(g, ks=(2,), ps=(0.4, 0.7)):
+            assert cell.core_size == len(kp_core_vertices(g, cell.k, cell.p))
+
+    def test_empty_cell_flag(self, triangle):
+        cells = parameter_grid(triangle, ks=(5,), ps=(0.5,))
+        assert cells[0].is_empty
+
+    def test_grid_validation(self, triangle):
+        with pytest.raises(ParameterError):
+            parameter_grid(triangle, ks=(0,), ps=(0.5,))
+        with pytest.raises(ParameterError):
+            parameter_grid(triangle, ks=(1,), ps=(1.5,))

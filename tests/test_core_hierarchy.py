@@ -1,0 +1,90 @@
+"""Unit tests for the (k,p)-core hierarchy utilities."""
+
+import pytest
+
+from repro.graph.generators import erdos_renyi_gnm
+from repro.core.decomposition import kp_core_decomposition
+from repro.core.hierarchy import core_profile, nested_cores, p_levels
+from repro.core.kpcore import kp_core_vertices
+
+
+class TestPLevels:
+    def test_levels_partition_the_k_core(self, cascade_graph):
+        levels = p_levels(cascade_graph, 2)
+        union = set()
+        for level in levels:
+            assert not (union & level.vertices)
+            union |= level.vertices
+        decomposition = kp_core_decomposition(cascade_graph)
+        assert union == set(decomposition.arrays[2].order)
+
+    def test_levels_sorted_ascending(self):
+        g = erdos_renyi_gnm(20, 60, seed=1)
+        levels = p_levels(g, 2)
+        values = [level.p for level in levels]
+        assert values == sorted(values)
+
+    def test_missing_k_gives_empty(self, triangle):
+        assert p_levels(triangle, 9) == []
+
+    def test_reuses_precomputed_decomposition(self, cascade_graph):
+        decomposition = kp_core_decomposition(cascade_graph)
+        assert p_levels(cascade_graph, 2, decomposition) == p_levels(
+            cascade_graph, 2
+        )
+
+
+class TestNestedCores:
+    def test_chain_is_strictly_nested(self):
+        g = erdos_renyi_gnm(25, 80, seed=2)
+        chain = nested_cores(g, 2)
+        for (p_low, low), (p_high, high) in zip(chain, chain[1:]):
+            assert p_low < p_high
+            assert high < low  # strict subset
+
+    def test_chain_matches_direct_queries(self):
+        g = erdos_renyi_gnm(25, 80, seed=3)
+        for p, members in nested_cores(g, 3):
+            assert members == kp_core_vertices(g, 3, p)
+
+    def test_first_entry_is_whole_k_core(self, cascade_graph):
+        chain = nested_cores(cascade_graph, 2)
+        assert chain[0][1] == kp_core_vertices(cascade_graph, 2, 0.0)
+
+
+class TestCoreProfile:
+    def test_profile_spans_core_number(self, cascade_graph):
+        decomposition = kp_core_decomposition(cascade_graph)
+        profile = core_profile(cascade_graph, 3, decomposition)
+        assert [k for k, _ in profile] == list(
+            range(1, decomposition.core_numbers[3] + 1)
+        )
+
+    def test_profile_values_match_decomposition(self):
+        g = erdos_renyi_gnm(15, 40, seed=4)
+        decomposition = kp_core_decomposition(g)
+        for v in g.vertices():
+            for k, pn in core_profile(g, v, decomposition):
+                assert decomposition.arrays[k].pn_map()[v] == pn
+
+    def test_profile_of_isolated_vertex_is_empty(self):
+        g = erdos_renyi_gnm(10, 15, seed=5)
+        g.add_vertex("loner")
+        assert core_profile(g, "loner") == []
+
+    def test_profile_non_monotone_possible(self):
+        # the paper's "Discussion of KP-Index" notes p-numbers need not be
+        # monotone in k; find a witness on a small sweep of random graphs
+        found = False
+        for seed in range(30):
+            g = erdos_renyi_gnm(12, 30, seed=seed)
+            decomposition = kp_core_decomposition(g)
+            for v in g.vertices():
+                profile = core_profile(g, v, decomposition)
+                pns = [pn for _, pn in profile]
+                if any(a > b for a, b in zip(pns, pns[1:])):
+                    found = True
+                    break
+            if found:
+                break
+        assert found

@@ -1,0 +1,175 @@
+"""Unit tests for the KP-Index and Algorithm 3 (kpCoreQuery)."""
+
+import pytest
+
+from repro.errors import IndexStateError, ParameterError
+from repro.graph.adjacency import Graph
+from repro.graph.generators import erdos_renyi_gnm
+from repro.core.index import KArray, KPIndex, build_index
+from repro.core.kpcore import kp_core_vertices
+from repro.kcore.decomposition import core_decomposition
+
+
+class TestKArray:
+    def test_levels_built_from_runs(self):
+        array = KArray(k=2, vertices=[1, 2, 3, 4], p_numbers=[0.5, 0.5, 0.75, 1.0])
+        assert array.level_values == [0.5, 0.75, 1.0]
+        assert array.level_starts == [0, 2, 3]
+
+    def test_unsorted_p_numbers_rejected(self):
+        with pytest.raises(IndexStateError):
+            KArray(k=2, vertices=[1, 2], p_numbers=[0.8, 0.5])
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(IndexStateError):
+            KArray(k=2, vertices=[1], p_numbers=[0.5, 0.6])
+
+    def test_duplicate_vertex_rejected(self):
+        with pytest.raises(IndexStateError):
+            KArray(k=2, vertices=[1, 1], p_numbers=[0.5, 0.5])
+
+    def test_query_suffix_semantics(self):
+        array = KArray(k=2, vertices=[1, 2, 3, 4], p_numbers=[0.5, 0.5, 0.75, 1.0])
+        assert array.query(0.5) == [1, 2, 3, 4]
+        assert array.query(0.6) == [3, 4]
+        assert array.query(0.75) == [3, 4]
+        assert array.query(1.0) == [4]
+        assert array.query(0.0) == [1, 2, 3, 4]
+
+    def test_query_above_max_level_is_empty(self):
+        array = KArray(k=2, vertices=[1], p_numbers=[0.5])
+        assert array.query(0.9) == []
+
+    def test_p_number_lookup(self):
+        array = KArray(k=2, vertices=[1, 2], p_numbers=[0.5, 0.8])
+        assert array.p_number(2) == 0.8
+        assert array.p_number_or(99, 0.0) == 0.0
+        with pytest.raises(KeyError):
+            array.p_number(99)
+
+    def test_replace_segment_splices(self):
+        array = KArray(
+            k=2, vertices=[1, 2, 3, 4, 5], p_numbers=[0.2, 0.4, 0.5, 0.7, 0.9]
+        )
+        array.replace_segment(
+            keep_below=0.4,
+            segment_vertices=[3, 2],
+            segment_p_numbers=[0.45, 0.6],
+            tail_from=[4, 5],
+        )
+        assert array.vertices == [1, 3, 2, 4, 5]
+        assert array.p_numbers == [0.2, 0.45, 0.6, 0.7, 0.9]
+        assert array.p_number(2) == 0.6
+
+
+class TestIndexQueries:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_query_equals_direct_computation(self, seed):
+        g = erdos_renyi_gnm(25, 75, seed=seed)
+        index = KPIndex.build(g)
+        d = core_decomposition(g).degeneracy
+        for k in range(1, d + 2):
+            for p in (0.0, 0.3, 0.5, 0.66, 0.8, 1.0):
+                assert set(index.query(k, p)) == kp_core_vertices(g, k, p)
+
+    def test_query_result_is_suffix_order(self):
+        g = erdos_renyi_gnm(20, 60, seed=9)
+        index = KPIndex.build(g)
+        array = index.array(2)
+        result = index.query(2, array.level_values[0])
+        assert result == array.vertices
+
+    def test_k_beyond_degeneracy(self, triangle):
+        index = KPIndex.build(triangle)
+        assert index.query(5, 0.1) == []
+
+    def test_invalid_parameters(self, triangle):
+        index = KPIndex.build(triangle)
+        with pytest.raises(ParameterError):
+            index.query(0, 0.5)
+        with pytest.raises(ParameterError):
+            index.query(1, 1.5)
+
+    def test_p_number_accessor(self, cascade_graph):
+        index = KPIndex.build(cascade_graph)
+        assert index.p_number(5, 2) == pytest.approx(2 / 3)
+        with pytest.raises(KeyError):
+            index.p_number(5, 9)
+
+
+class TestStructure:
+    def test_space_bound_lemma1(self):
+        for seed in range(4):
+            g = erdos_renyi_gnm(30, 100, seed=seed)
+            stats = KPIndex.build(g).space_stats()
+            assert stats.vertex_entries <= stats.two_m
+            assert stats.p_number_entries <= stats.vertex_entries
+            assert stats.within_bound
+
+    def test_validate_passes_on_fresh_index(self):
+        g = erdos_renyi_gnm(30, 100, seed=5)
+        KPIndex.build(g).validate()
+
+    def test_validate_catches_broken_nesting(self):
+        g = erdos_renyi_gnm(30, 100, seed=6)
+        index = KPIndex.build(g)
+        top = index.degeneracy
+        # corrupt: put a vertex in A_top that is not in A_(top-1)
+        bogus = "not-a-member"
+        index.arrays()[top].vertices.append(bogus)
+        index.arrays()[top].p_numbers.append(2.0)
+        index.arrays()[top]._rebuild_levels()
+        with pytest.raises(IndexStateError):
+            index.validate()
+
+    def test_degeneracy_property(self, triangle):
+        assert KPIndex.build(triangle).degeneracy == 2
+
+    def test_semantic_equality_ignores_tie_order(self):
+        g = erdos_renyi_gnm(20, 60, seed=7)
+        a = KPIndex.build(g)
+        b = KPIndex.build(g)
+        # permute a same-level block of b
+        array = b.arrays()[1]
+        start = array.level_starts[0]
+        stop = (
+            array.level_starts[1]
+            if len(array.level_starts) > 1
+            else len(array.vertices)
+        )
+        block = array.vertices[start:stop]
+        array.vertices[start:stop] = list(reversed(block))
+        array._rebuild_levels()
+        assert a.semantically_equal(b)
+
+    def test_serialization_round_trip(self):
+        g = erdos_renyi_gnm(20, 55, seed=8)
+        index = KPIndex.build(g)
+        again = KPIndex.from_dict(index.to_dict())
+        assert index.semantically_equal(again)
+        assert again.space_stats() == index.space_stats()
+
+    def test_build_index_alias(self, triangle):
+        assert build_index(triangle).semantically_equal(KPIndex.build(triangle))
+
+    def test_empty_graph_index(self):
+        index = KPIndex.build(Graph())
+        assert index.degeneracy == 0
+        assert index.query(1, 0.5) == []
+
+
+class TestFilePersistence:
+    def test_save_load_round_trip(self, tmp_path):
+        from repro.graph.generators import erdos_renyi_gnm
+
+        g = erdos_renyi_gnm(20, 55, seed=9)
+        index = KPIndex.build(g)
+        path = str(tmp_path / "index.json")
+        index.save(path)
+        restored = KPIndex.load(path)
+        assert restored.semantically_equal(index)
+        assert restored.space_stats() == index.space_stats()
+
+    def test_load_missing_file_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            KPIndex.load(str(tmp_path / "nope.json"))

@@ -1,0 +1,104 @@
+"""Unit tests for Algorithm 1 (kpCore)."""
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.graph.adjacency import Graph
+from repro.graph.compact import CompactAdjacency
+from repro.graph.generators import complete_graph, erdos_renyi_gnm, star_graph
+from repro.core.kpcore import (
+    combined_thresholds,
+    fraction,
+    kp_core,
+    kp_core_vertices,
+    satisfies_kp_constraints,
+)
+from repro.core.naive import naive_kp_core_vertices
+from repro.kcore.compute import k_core_vertices
+
+
+class TestDefinitionExamples:
+    def test_p_zero_equals_k_core(self):
+        g = erdos_renyi_gnm(25, 70, seed=1)
+        for k in range(6):
+            assert kp_core_vertices(g, k, 0.0) == k_core_vertices(g, k)
+
+    def test_whole_graph_is_a_1_1_core(self, triangle):
+        # every vertex keeps all its neighbours => fraction 1
+        assert kp_core_vertices(triangle, 1, 1.0) == {0, 1, 2}
+
+    def test_fraction_constraint_trims(self, triangle_with_tail):
+        # vertex 0 has 3 neighbours, only 2 inside the triangle: 2/3 < 0.75
+        assert kp_core_vertices(triangle_with_tail, 2, 2 / 3) == {0, 1, 2}
+        assert kp_core_vertices(triangle_with_tail, 2, 0.75) == set()
+
+    def test_cascade_graph_levels(self, cascade_graph):
+        # the triangle {3,5,6} survives (2, 2/3); nothing survives above
+        assert kp_core_vertices(cascade_graph, 2, 2 / 3) == {3, 5, 6}
+        assert kp_core_vertices(cascade_graph, 2, 0.7) == set()
+
+    def test_complete_graph_all_p(self):
+        g = complete_graph(6)
+        assert kp_core_vertices(g, 5, 1.0) == set(range(6))
+        assert kp_core_vertices(g, 6, 0.0) == set()
+
+    def test_star(self):
+        g = star_graph(5)
+        assert kp_core_vertices(g, 1, 1.0) == set(range(6))
+        assert kp_core_vertices(g, 2, 0.1) == set()
+
+
+class TestProperties:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_matches_naive(self, seed, random_graph_factory):
+        g = random_graph_factory(seed)
+        for k in (1, 2, 3):
+            for p in (0.0, 0.4, 0.5, 2 / 3, 1.0):
+                assert kp_core_vertices(g, k, p) == naive_kp_core_vertices(g, k, p)
+
+    def test_containment_in_both_parameters(self):
+        g = erdos_renyi_gnm(30, 110, seed=3)
+        for k in (1, 2, 3):
+            for p, p_larger in ((0.2, 0.5), (0.5, 0.8)):
+                inner = kp_core_vertices(g, k, p_larger)
+                outer = kp_core_vertices(g, k, p)
+                assert inner <= outer
+            assert kp_core_vertices(g, k + 1, 0.5) <= kp_core_vertices(g, k, 0.5)
+
+    def test_result_satisfies_constraints(self):
+        g = erdos_renyi_gnm(30, 110, seed=4)
+        for k, p in ((2, 0.5), (3, 0.6), (4, 0.3)):
+            members = kp_core_vertices(g, k, p)
+            assert satisfies_kp_constraints(g, members, k, p)
+
+    def test_maximality(self):
+        # adding any outside vertex must break some constraint
+        g = erdos_renyi_gnm(20, 60, seed=5)
+        k, p = 3, 0.6
+        members = kp_core_vertices(g, k, p)
+        for extra in set(g.vertices()) - members:
+            assert not satisfies_kp_constraints(g, members | {extra}, k, p)
+
+    def test_invalid_parameters(self, triangle):
+        with pytest.raises(ParameterError):
+            kp_core_vertices(triangle, -1, 0.5)
+        with pytest.raises(ParameterError):
+            kp_core_vertices(triangle, 1, 1.5)
+
+
+class TestHelpers:
+    def test_combined_thresholds(self, triangle_with_tail):
+        snap = CompactAdjacency(triangle_with_tail)
+        thresholds = combined_thresholds(snap, 2, 0.5)
+        by_label = {snap.labels[i]: t for i, t in enumerate(thresholds)}
+        assert by_label[0] == 2  # max(2, ceil(0.5*3)=2)
+        assert by_label[3] == 2  # max(2, ceil(0.5*1)=1)
+
+    def test_fraction_definition(self, triangle_with_tail):
+        assert fraction(triangle_with_tail, {0, 1, 2}, 0) == pytest.approx(2 / 3)
+        assert fraction(triangle_with_tail, {0, 1, 2}, 1) == 1.0
+
+    def test_kp_core_graph_is_induced(self, cascade_graph):
+        sub = kp_core(cascade_graph, 2, 2 / 3)
+        assert set(sub.vertices()) == {3, 5, 6}
+        assert sub.num_edges == 3

@@ -1,0 +1,234 @@
+"""Unit and randomized tests for KP-Index maintenance (Algs. 4-5)."""
+
+import random
+
+import pytest
+
+from repro.errors import EdgeExistsError, EdgeNotFoundError
+from repro.graph.adjacency import Graph
+from repro.graph.generators import (
+    barabasi_albert,
+    erdos_renyi_gnm,
+    planted_partition,
+)
+from repro.core.index import KPIndex
+from repro.core.maintenance import (
+    KPIndexMaintainer,
+    MaintenanceMode,
+    MaintenanceStats,
+)
+
+
+def assert_index_exact(maintainer: KPIndexMaintainer) -> None:
+    fresh = KPIndex.build(maintainer.graph)
+    assert maintainer.index.semantically_equal(fresh)
+
+
+@pytest.fixture(params=[MaintenanceMode.RANGE, MaintenanceMode.FULL_K])
+def mode(request):
+    return request.param
+
+
+class TestSingleUpdates:
+    def test_insert_then_delete_restores(self, cascade_graph, mode):
+        maintainer = KPIndexMaintainer(cascade_graph.copy(), mode=mode, strict=True)
+        original = KPIndex.build(cascade_graph)
+        maintainer.insert_edge(5, 1)
+        assert_index_exact(maintainer)
+        maintainer.delete_edge(5, 1)
+        assert maintainer.index.semantically_equal(original)
+
+    def test_insert_new_vertex(self, triangle, mode):
+        maintainer = KPIndexMaintainer(triangle.copy(), mode=mode, strict=True)
+        maintainer.insert_edge(0, 99)
+        assert_index_exact(maintainer)
+        # the new vertex is in A_1 with p-number 1
+        assert maintainer.index.p_number(99, 1) == 1.0
+
+    def test_delete_to_isolation_updates_a1(self, mode):
+        g = Graph([(0, 1), (1, 2)])
+        maintainer = KPIndexMaintainer(g, mode=mode, strict=True)
+        maintainer.delete_edge(0, 1)
+        assert_index_exact(maintainer)
+        assert not maintainer.index.array(1).contains(0)
+
+    def test_insert_extends_degeneracy(self, mode):
+        # completing K4 from K4-minus-an-edge raises d(G) from 2 to 3
+        g = Graph([(0, 1), (0, 2), (0, 3), (1, 2), (1, 3)])
+        maintainer = KPIndexMaintainer(g, mode=mode, strict=True)
+        assert maintainer.index.degeneracy == 2
+        maintainer.insert_edge(2, 3)
+        assert maintainer.index.degeneracy == 3
+        assert_index_exact(maintainer)
+
+    def test_delete_shrinks_degeneracy(self, mode):
+        g = Graph([(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)])  # K4
+        maintainer = KPIndexMaintainer(g, mode=mode, strict=True)
+        maintainer.delete_edge(0, 1)
+        assert maintainer.index.degeneracy == 2
+        assert_index_exact(maintainer)
+
+    def test_duplicate_insert_rejected(self, triangle, mode):
+        maintainer = KPIndexMaintainer(triangle.copy(), mode=mode)
+        with pytest.raises(EdgeExistsError):
+            maintainer.insert_edge(0, 1)
+
+    def test_missing_delete_rejected(self, triangle, mode):
+        maintainer = KPIndexMaintainer(triangle.copy(), mode=mode)
+        with pytest.raises(EdgeNotFoundError):
+            maintainer.delete_edge(0, 9)
+
+    def test_query_reflects_updates(self, mode):
+        g = Graph([(0, 1), (1, 2), (2, 0), (0, 3)])
+        maintainer = KPIndexMaintainer(g, mode=mode, strict=True)
+        # vertex 0 keeps only 2/3 of its neighbours in the triangle
+        assert set(maintainer.query(2, 2 / 3)) == {0, 1, 2}
+        assert maintainer.query(2, 0.7) == []
+        maintainer.delete_edge(0, 3)
+        # without the tail, the triangle survives any p
+        assert set(maintainer.query(2, 0.7)) == {0, 1, 2}
+        assert set(maintainer.query(2, 1.0)) == {0, 1, 2}
+
+
+class TestVertexDynamics:
+    def test_insert_vertex_with_neighbors(self, triangle, mode):
+        maintainer = KPIndexMaintainer(triangle.copy(), mode=mode, strict=True)
+        maintainer.insert_vertex(9, neighbors=[0, 1, 2])
+        assert_index_exact(maintainer)
+        assert maintainer.core_number(9) == 3
+        assert maintainer.index.p_number(9, 3) == 1.0
+
+    def test_insert_isolated_vertex(self, triangle, mode):
+        maintainer = KPIndexMaintainer(triangle.copy(), mode=mode, strict=True)
+        maintainer.insert_vertex("ghost")
+        assert maintainer.core_number("ghost") == 0
+        assert not maintainer.index.array(1).contains("ghost")
+        assert_index_exact(maintainer)
+
+    def test_delete_vertex(self, two_triangles_bridge, mode):
+        maintainer = KPIndexMaintainer(
+            two_triangles_bridge.copy(), mode=mode, strict=True
+        )
+        maintainer.delete_vertex(3)
+        assert not maintainer.graph.has_vertex(3)
+        assert_index_exact(maintainer)
+
+    def test_missing_vertex_delete_raises(self, triangle, mode):
+        from repro.errors import VertexNotFoundError
+
+        maintainer = KPIndexMaintainer(triangle.copy(), mode=mode)
+        with pytest.raises(VertexNotFoundError):
+            maintainer.delete_vertex(42)
+
+    def test_apply_updates_batch(self, mode):
+        g = erdos_renyi_gnm(12, 30, seed=8)
+        maintainer = KPIndexMaintainer(g.copy(), mode=mode, strict=True)
+        deletions = list(g.edges())[:4]
+        insertions = []
+        seen = set()
+        rng = random.Random(8)
+        while len(insertions) < 4:
+            u, v = rng.randrange(12), rng.randrange(12)
+            key = frozenset((u, v))
+            if u == v or g.has_edge(u, v) or key in seen:
+                continue
+            seen.add(key)
+            insertions.append((u, v))
+        maintainer.apply_updates(insertions=insertions, deletions=deletions)
+        assert_index_exact(maintainer)
+
+
+class TestStats:
+    def test_counters_move(self, mode):
+        g = erdos_renyi_gnm(20, 60, seed=1)
+        maintainer = KPIndexMaintainer(g, mode=mode)
+        maintainer.insert_edge(0, 19) if not g.has_edge(0, 19) else None
+        edges = list(maintainer.graph.edges())
+        maintainer.delete_edge(*edges[0])
+        stats = maintainer.stats
+        assert stats.deletions == 1
+        assert stats.arrays_examined >= 0
+        snapshot = stats.snapshot()
+        assert isinstance(snapshot, dict)
+        assert snapshot["deletions"] == 1
+
+    def test_stats_defaults(self):
+        stats = MaintenanceStats()
+        assert stats.insertions == 0
+        assert stats.fallback_rebuilds == 0
+
+
+class TestRandomizedStreams:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_er_stream(self, seed, mode):
+        rng = random.Random(seed)
+        n = rng.randint(6, 18)
+        m = rng.randint(n, min(48, n * (n - 1) // 2))
+        g = erdos_renyi_gnm(n, m, seed=seed)
+        maintainer = KPIndexMaintainer(g.copy(), mode=mode, strict=True)
+        edges = list(g.edges())
+        for _ in range(25):
+            if edges and rng.random() < 0.5:
+                u, v = edges.pop(rng.randrange(len(edges)))
+                maintainer.delete_edge(u, v)
+            else:
+                u, v = rng.randrange(n), rng.randrange(n)
+                if u == v or maintainer.graph.has_edge(u, v):
+                    continue
+                maintainer.insert_edge(u, v)
+                edges.append((u, v))
+            assert_index_exact(maintainer)
+
+    def test_powerlaw_deletions(self, mode):
+        g = barabasi_albert(25, 3, seed=3)
+        maintainer = KPIndexMaintainer(g.copy(), mode=mode, strict=True)
+        rng = random.Random(3)
+        edges = list(g.edges())
+        for _ in range(20):
+            u, v = edges.pop(rng.randrange(len(edges)))
+            maintainer.delete_edge(u, v)
+            assert_index_exact(maintainer)
+
+    def test_community_graph_insertions(self, mode):
+        g = planted_partition(3, 7, 0.7, 0.05, seed=4)
+        maintainer = KPIndexMaintainer(g.copy(), mode=mode, strict=True)
+        rng = random.Random(4)
+        n = g.num_vertices
+        done = 0
+        while done < 20:
+            u, v = rng.randrange(n), rng.randrange(n)
+            if u == v or maintainer.graph.has_edge(u, v):
+                continue
+            maintainer.insert_edge(u, v)
+            assert_index_exact(maintainer)
+            done += 1
+
+    def test_modes_agree(self):
+        g = erdos_renyi_gnm(14, 36, seed=5)
+        range_mode = KPIndexMaintainer(g.copy(), mode=MaintenanceMode.RANGE, strict=True)
+        full_mode = KPIndexMaintainer(g.copy(), mode=MaintenanceMode.FULL_K, strict=True)
+        rng = random.Random(5)
+        edges = list(g.edges())
+        for _ in range(25):
+            if edges and rng.random() < 0.5:
+                u, v = edges.pop(rng.randrange(len(edges)))
+                range_mode.delete_edge(u, v)
+                full_mode.delete_edge(u, v)
+            else:
+                u, v = rng.randrange(14), rng.randrange(14)
+                if u == v or range_mode.graph.has_edge(u, v):
+                    continue
+                range_mode.insert_edge(u, v)
+                full_mode.insert_edge(u, v)
+                edges.append((u, v))
+            assert range_mode.index.semantically_equal(full_mode.index)
+
+    def test_no_fallbacks_in_strict_streams(self):
+        g = erdos_renyi_gnm(16, 40, seed=6)
+        maintainer = KPIndexMaintainer(g.copy(), strict=True)
+        rng = random.Random(6)
+        edges = list(g.edges())
+        for _ in range(30):
+            u, v = edges.pop(rng.randrange(len(edges)))
+            maintainer.delete_edge(u, v)
+        assert maintainer.stats.fallback_rebuilds == 0

@@ -1,0 +1,71 @@
+"""Tests for the naive reference implementations themselves.
+
+The oracles must be right for the rest of the suite to mean anything, so
+they get their own hand-computed checks.
+"""
+
+import pytest
+
+from repro.graph.adjacency import Graph
+from repro.graph.generators import complete_graph, cycle_graph, star_graph
+from repro.core.naive import (
+    naive_core_numbers,
+    naive_kp_core_vertices,
+    naive_p_number,
+    naive_p_numbers_fixed_k,
+)
+
+
+class TestNaiveKpCore:
+    def test_triangle_with_tail(self, triangle_with_tail):
+        assert naive_kp_core_vertices(triangle_with_tail, 2, 0.0) == {0, 1, 2}
+        assert naive_kp_core_vertices(triangle_with_tail, 2, 2 / 3) == {0, 1, 2}
+        assert naive_kp_core_vertices(triangle_with_tail, 2, 0.7) == set()
+
+    def test_complete(self):
+        assert naive_kp_core_vertices(complete_graph(4), 3, 1.0) == {0, 1, 2, 3}
+
+    def test_empty_graph(self):
+        assert naive_kp_core_vertices(Graph(), 1, 0.5) == set()
+
+    def test_simultaneous_removal_fixpoint(self):
+        # a 4-cycle at k=2 survives; at p > 1/2 with an extra pendant each,
+        # everything collapses simultaneously
+        g = cycle_graph(4)
+        for i in range(4):
+            g.add_edge(i, 10 + i)
+        assert naive_kp_core_vertices(g, 2, 0.5) == {0, 1, 2, 3}
+        assert naive_kp_core_vertices(g, 2, 0.67) == set()
+
+
+class TestNaivePNumbers:
+    def test_hand_computed_cascade(self, cascade_graph):
+        assert naive_p_number(cascade_graph, 5, 2) == pytest.approx(2 / 3)
+        assert naive_p_number(cascade_graph, 3, 2) == pytest.approx(2 / 3)
+
+    def test_outside_k_core_is_none(self, triangle_with_tail):
+        assert naive_p_number(triangle_with_tail, 3, 2) is None
+
+    def test_fixed_k_map_covers_k_core(self, triangle_with_tail):
+        pn = naive_p_numbers_fixed_k(triangle_with_tail, 2)
+        assert set(pn) == {0, 1, 2}
+
+    def test_cycle_all_one(self):
+        pn = naive_p_numbers_fixed_k(cycle_graph(5), 2)
+        assert set(pn.values()) == {1.0}
+
+
+class TestNaiveCoreNumbers:
+    def test_star(self):
+        cn = naive_core_numbers(star_graph(4))
+        assert cn[0] == 1
+        assert all(cn[v] == 1 for v in range(1, 5))
+
+    def test_complete(self):
+        cn = naive_core_numbers(complete_graph(5))
+        assert set(cn.values()) == {4}
+
+    def test_isolated(self):
+        g = Graph([(0, 1)])
+        g.add_vertex(7)
+        assert naive_core_numbers(g)[7] == 0

@@ -1,0 +1,85 @@
+"""Unit tests for the fraction/threshold numerics."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.core.pvalue import as_fraction, check_p, fraction_threshold, fraction_value
+
+
+class TestCheckP:
+    def test_accepts_bounds(self):
+        assert check_p(0.0) == 0.0
+        assert check_p(1.0) == 1.0
+        assert check_p(0.5) == 0.5
+
+    @pytest.mark.parametrize("bad", [-0.1, 1.0001, 2.0])
+    def test_rejects_out_of_range(self, bad):
+        with pytest.raises(ParameterError):
+            check_p(bad)
+
+
+class TestFractionValue:
+    def test_simple(self):
+        assert fraction_value(1, 2) == 0.5
+        assert fraction_value(0, 7) == 0.0
+
+    def test_rejects_nonpositive_denominator(self):
+        with pytest.raises(ParameterError):
+            fraction_value(1, 0)
+
+
+class TestFractionThreshold:
+    def test_defining_property_on_grid(self):
+        # smallest a with float(a/deg) >= p, for every exact grid p
+        for deg in range(1, 60):
+            for a in range(0, deg + 1):
+                p = a / deg
+                t = fraction_threshold(p, deg)
+                assert t / deg >= p
+                assert t == 0 or (t - 1) / deg < p
+
+    def test_defining_property_on_random_p(self):
+        import random
+
+        rng = random.Random(11)
+        for _ in range(3000):
+            deg = rng.randint(1, 400)
+            p = rng.random()
+            t = fraction_threshold(p, deg)
+            assert 0 <= t <= deg + 1
+            assert t > deg or t / deg >= p
+            assert t == 0 or (t - 1) / deg < p
+
+    def test_boundaries(self):
+        assert fraction_threshold(0.0, 10) == 0
+        assert fraction_threshold(1.0, 10) == 10
+        assert fraction_threshold(0.5, 0) == 0
+
+    def test_classic_float_traps(self):
+        # 0.1 * 10, 0.7 * 10 etc. must not off-by-one
+        assert fraction_threshold(0.1, 10) == 1
+        assert fraction_threshold(0.7, 10) == 7
+        assert fraction_threshold(0.3, 3) == 1
+        assert fraction_threshold(2 / 3, 3) == 2
+
+    def test_negative_degree_rejected(self):
+        with pytest.raises(ParameterError):
+            fraction_threshold(0.5, -1)
+
+    def test_invalid_p_rejected(self):
+        with pytest.raises(ParameterError):
+            fraction_threshold(1.5, 10)
+
+
+class TestAsFraction:
+    def test_recovers_exact_rationals(self):
+        for den in range(1, 200):
+            for num in (0, 1, den // 2, den - 1, den):
+                stored = num / den
+                assert as_fraction(stored, den) == Fraction(num, den)
+
+    def test_requires_positive_denominator(self):
+        with pytest.raises(ParameterError):
+            as_fraction(0.5, 0)

@@ -1,0 +1,64 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro.errors import (
+    DatasetError,
+    EdgeExistsError,
+    EdgeListParseError,
+    EdgeNotFoundError,
+    GraphError,
+    IndexStateError,
+    ParameterError,
+    ReproError,
+    SelfLoopError,
+    VertexNotFoundError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            GraphError("x"),
+            VertexNotFoundError(1),
+            EdgeNotFoundError(1, 2),
+            EdgeExistsError(1, 2),
+            SelfLoopError(1),
+            ParameterError("x"),
+            EdgeListParseError("x"),
+            DatasetError("x"),
+            IndexStateError("x"),
+        ],
+    )
+    def test_everything_is_a_repro_error(self, exc):
+        assert isinstance(exc, ReproError)
+
+    def test_lookup_errors_are_key_errors(self):
+        # so dict-style call sites can catch KeyError uniformly
+        assert isinstance(VertexNotFoundError(1), KeyError)
+        assert isinstance(EdgeNotFoundError(1, 2), KeyError)
+
+    def test_value_style_errors_are_value_errors(self):
+        assert isinstance(SelfLoopError(1), ValueError)
+        assert isinstance(ParameterError("x"), ValueError)
+        assert isinstance(EdgeExistsError(1, 2), ValueError)
+
+
+class TestMessages:
+    def test_vertex_message(self):
+        assert "42" in str(VertexNotFoundError(42))
+
+    def test_edge_messages(self):
+        assert "(1, 2)" in str(EdgeNotFoundError(1, 2)).replace("'", "")
+        assert "already" in str(EdgeExistsError(1, 2))
+
+    def test_self_loop_message(self):
+        assert "self loop" in str(SelfLoopError(3))
+
+    def test_parse_error_carries_line(self):
+        err = EdgeListParseError("bad token", line_number=7)
+        assert "line 7" in str(err)
+        assert "bad token" in str(err)
+        bare = EdgeListParseError("bad token")
+        assert "line" not in str(bare)

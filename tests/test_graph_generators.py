@@ -1,0 +1,185 @@
+"""Unit tests for the random-graph generators."""
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.graph.generators import (
+    barabasi_albert,
+    complete_graph,
+    configuration_model,
+    cycle_graph,
+    erdos_renyi_gnm,
+    erdos_renyi_gnp,
+    heterogeneous_planted_partition,
+    planted_partition,
+    powerlaw_cluster_graph,
+    powerlaw_degree_sequence,
+    star_graph,
+    watts_strogatz,
+)
+from repro.graph.metrics import average_degree, global_clustering_coefficient
+from repro.graph.traversal import is_connected
+
+
+class TestDeterministicBlocks:
+    def test_complete(self):
+        g = complete_graph(6)
+        assert g.num_edges == 15
+        assert all(g.degree(v) == 5 for v in g.vertices())
+
+    def test_cycle(self):
+        g = cycle_graph(7)
+        assert g.num_edges == 7
+        assert all(g.degree(v) == 2 for v in g.vertices())
+        with pytest.raises(ParameterError):
+            cycle_graph(2)
+
+    def test_star(self):
+        g = star_graph(5)
+        assert g.degree(0) == 5
+        with pytest.raises(ParameterError):
+            star_graph(0)
+
+
+class TestErdosRenyi:
+    def test_gnm_exact_counts(self):
+        g = erdos_renyi_gnm(50, 123, seed=1)
+        assert g.num_vertices == 50
+        assert g.num_edges == 123
+
+    def test_gnm_rejects_impossible_m(self):
+        with pytest.raises(ParameterError):
+            erdos_renyi_gnm(4, 7)
+
+    def test_gnm_deterministic(self):
+        assert erdos_renyi_gnm(30, 60, seed=9) == erdos_renyi_gnm(30, 60, seed=9)
+
+    def test_gnp_edge_count_near_expectation(self):
+        g = erdos_renyi_gnp(200, 0.1, seed=2)
+        expected = 0.1 * 200 * 199 / 2
+        assert abs(g.num_edges - expected) < 0.2 * expected
+
+    def test_gnp_extremes(self):
+        assert erdos_renyi_gnp(20, 0.0, seed=1).num_edges == 0
+        assert erdos_renyi_gnp(10, 1.0, seed=1).num_edges == 45
+        with pytest.raises(ParameterError):
+            erdos_renyi_gnp(10, 1.5)
+
+    def test_gnp_no_self_loops_or_duplicates(self):
+        g = erdos_renyi_gnp(80, 0.15, seed=3)
+        seen = set()
+        for u, v in g.edges():
+            assert u != v
+            assert frozenset((u, v)) not in seen
+            seen.add(frozenset((u, v)))
+
+
+class TestPreferentialAttachment:
+    def test_ba_sizes(self):
+        g = barabasi_albert(100, 3, seed=4)
+        assert g.num_vertices == 100
+        # star start: 3 edges; 96 joiners × 3 edges
+        assert g.num_edges == 3 + 96 * 3
+        # every vertex added after the seed star attaches to 3 targets
+        assert min(g.degree(v) for v in range(4, 100)) >= 3
+
+    def test_ba_connected(self):
+        assert is_connected(barabasi_albert(60, 2, seed=5))
+
+    def test_ba_parameter_validation(self):
+        with pytest.raises(ParameterError):
+            barabasi_albert(3, 3)
+        with pytest.raises(ParameterError):
+            barabasi_albert(10, 0)
+
+    def test_holme_kim_boosts_clustering(self):
+        plain = barabasi_albert(300, 4, seed=6)
+        clustered = powerlaw_cluster_graph(300, 4, 0.8, seed=6)
+        assert global_clustering_coefficient(
+            clustered
+        ) > global_clustering_coefficient(plain)
+
+    def test_holme_kim_validation(self):
+        with pytest.raises(ParameterError):
+            powerlaw_cluster_graph(10, 3, 1.5)
+
+
+class TestConfigurationModel:
+    def test_powerlaw_sequence_bounds_and_parity(self):
+        degrees = powerlaw_degree_sequence(500, 2.1, 2, 50, seed=7)
+        assert len(degrees) == 500
+        assert sum(degrees) % 2 == 0
+        assert all(2 <= d <= 51 for d in degrees)  # +1 slack for parity bump
+
+    def test_powerlaw_sequence_validation(self):
+        with pytest.raises(ParameterError):
+            powerlaw_degree_sequence(10, 2.0, 0, 5)
+        with pytest.raises(ParameterError):
+            powerlaw_degree_sequence(10, 2.0, 2, 20)  # max >= n
+
+    def test_configuration_model_respects_sequence_loosely(self):
+        degrees = powerlaw_degree_sequence(400, 2.2, 2, 40, seed=8)
+        g = configuration_model(degrees, seed=8)
+        # erased variant: realized degree never exceeds requested
+        for v in g.vertices():
+            assert g.degree(v) <= degrees[v]
+        realized = sum(g.degree(v) for v in g.vertices())
+        assert realized >= 0.9 * sum(degrees)
+
+    def test_configuration_model_validation(self):
+        with pytest.raises(ParameterError):
+            configuration_model([1, 1, 1])  # odd sum
+        with pytest.raises(ParameterError):
+            configuration_model([2, -2])
+
+
+class TestCommunities:
+    def test_planted_partition_structure(self):
+        g = planted_partition(4, 25, 0.5, 0.01, seed=9)
+        assert g.num_vertices == 100
+        intra = sum(
+            1 for u, v in g.edges() if u // 25 == v // 25
+        )
+        inter = g.num_edges - intra
+        assert intra > 5 * inter
+
+    def test_heterogeneous_sizes(self):
+        sizes = (30, 20, 10)
+        g = heterogeneous_planted_partition(sizes, 0.6, 0.0, seed=10)
+        assert g.num_vertices == 60
+        # members of the big block have higher average degree
+        big = sum(g.degree(v) for v in range(30)) / 30
+        small = sum(g.degree(v) for v in range(50, 60)) / 10
+        assert big > small
+
+    def test_partition_validation(self):
+        with pytest.raises(ParameterError):
+            planted_partition(2, 5, 1.2, 0.0)
+        with pytest.raises(ParameterError):
+            heterogeneous_planted_partition((0, 5), 0.5, 0.0)
+
+
+class TestWattsStrogatz:
+    def test_degree_preserved_at_beta_zero(self):
+        g = watts_strogatz(30, 4, 0.0, seed=11)
+        assert all(g.degree(v) == 4 for v in g.vertices())
+
+    def test_edge_count_invariant_under_rewiring(self):
+        g = watts_strogatz(40, 6, 0.5, seed=12)
+        assert g.num_edges == 40 * 3
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            watts_strogatz(10, 3, 0.1)  # odd k
+        with pytest.raises(ParameterError):
+            watts_strogatz(4, 4, 0.1)  # n <= k
+        with pytest.raises(ParameterError):
+            watts_strogatz(10, 4, 1.5)
+
+
+def test_generators_hit_target_density_regimes():
+    sparse = configuration_model(
+        powerlaw_degree_sequence(300, 2.3, 2, 40, seed=13), seed=13
+    )
+    dense = planted_partition(4, 40, 0.6, 0.01, seed=13)
+    assert average_degree(sparse) < average_degree(dense)

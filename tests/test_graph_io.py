@@ -1,0 +1,95 @@
+"""Unit tests for SNAP-style edge-list I/O."""
+
+import io
+
+import pytest
+
+from repro.errors import EdgeListParseError, SelfLoopError
+from repro.graph.adjacency import Graph
+from repro.graph.io import (
+    iter_edge_list,
+    parse_edge_list,
+    read_edge_list,
+    write_edge_list,
+)
+
+
+SAMPLE = """\
+# Undirected graph: test
+# Nodes: 4 Edges: 3
+0 1
+1 2
+2\t3
+"""
+
+
+class TestRead:
+    def test_basic_parse(self):
+        g = parse_edge_list(SAMPLE)
+        assert g.num_vertices == 4
+        assert g.num_edges == 3
+        assert g.has_edge(2, 3)
+
+    def test_comments_and_blank_lines_skipped(self):
+        g = parse_edge_list("# c\n\n1 2\n\n# d\n2 3\n")
+        assert g.num_edges == 2
+
+    def test_duplicate_and_reversed_edges_merge(self):
+        g = parse_edge_list("1 2\n2 1\n1 2\n")
+        assert g.num_edges == 1
+
+    def test_self_loops_dropped_by_default(self):
+        g = parse_edge_list("1 1\n1 2\n")
+        assert g.num_edges == 1
+        assert g.has_vertex(1)
+
+    def test_self_loops_raise_when_strict(self):
+        with pytest.raises(SelfLoopError):
+            parse_edge_list("1 1\n", drop_self_loops=False)
+
+    def test_extra_columns_ignored(self):
+        g = parse_edge_list("1 2 1591683245\n")
+        assert g.has_edge(1, 2)
+
+    def test_malformed_line_raises_with_line_number(self):
+        with pytest.raises(EdgeListParseError) as excinfo:
+            parse_edge_list("1 2\nonly_one_token\n")
+        assert excinfo.value.line_number == 2
+
+    def test_non_integer_vertex_raises(self):
+        with pytest.raises(EdgeListParseError):
+            parse_edge_list("a b\n")
+
+    def test_string_vertices_mode(self):
+        g = parse_edge_list("alice bob\n", int_vertices=False)
+        assert g.has_edge("alice", "bob")
+
+    def test_iter_edge_list_streaming(self):
+        edges = list(iter_edge_list(io.StringIO("1 2\n3 4\n")))
+        assert edges == [(1, 2), (3, 4)]
+
+
+class TestWrite:
+    def test_round_trip(self, figure1_like_graph):
+        buffer = io.StringIO()
+        write_edge_list(figure1_like_graph, buffer, header=["round trip"])
+        buffer.seek(0)
+        again = read_edge_list(buffer)
+        assert again == figure1_like_graph
+
+    def test_header_lines_are_comments(self, triangle):
+        buffer = io.StringIO()
+        write_edge_list(triangle, buffer, header=["a", "b"])
+        lines = buffer.getvalue().splitlines()
+        assert lines[0] == "# a"
+        assert lines[1] == "# b"
+
+    def test_file_round_trip(self, tmp_path, two_triangles_bridge):
+        path = tmp_path / "graph.txt"
+        write_edge_list(two_triangles_bridge, path)
+        assert read_edge_list(path) == two_triangles_bridge
+
+    def test_empty_graph_writes_nothing(self, tmp_path):
+        path = tmp_path / "empty.txt"
+        write_edge_list(Graph(), path)
+        assert path.read_text() == ""

@@ -1,0 +1,103 @@
+"""Unit tests for graph metrics, cross-checked against networkx."""
+
+import math
+
+import networkx as nx
+import pytest
+
+from repro.graph.adjacency import Graph
+from repro.graph.generators import complete_graph, cycle_graph, erdos_renyi_gnm, star_graph
+from repro.graph.metrics import (
+    average_degree,
+    connected_triplet_count,
+    degree_histogram,
+    density,
+    gini_coefficient,
+    global_clustering_coefficient,
+    max_degree,
+    summarize,
+    triangle_count,
+)
+
+
+def to_nx(graph: Graph) -> nx.Graph:
+    g = nx.Graph()
+    g.add_nodes_from(graph.vertices())
+    g.add_edges_from(graph.edges())
+    return g
+
+
+class TestBasicStats:
+    def test_density_known_values(self):
+        assert density(complete_graph(5)) == 1.0
+        assert density(cycle_graph(4)) == pytest.approx(4 / 6)
+        assert density(Graph()) == 0.0
+        single = Graph()
+        single.add_vertex(0)
+        assert density(single) == 0.0
+
+    def test_average_and_max_degree(self):
+        g = star_graph(4)
+        assert average_degree(g) == pytest.approx(8 / 5)
+        assert max_degree(g) == 4
+        assert average_degree(Graph()) == 0.0
+        assert max_degree(Graph()) == 0
+
+    def test_degree_histogram(self):
+        g = star_graph(3)
+        assert degree_histogram(g) == {3: 1, 1: 3}
+
+    def test_summarize_row(self, triangle):
+        row = summarize(triangle).as_row("tri")
+        assert row == ("tri", 3, 3, 2.0, 2)
+
+
+class TestTriangles:
+    def test_complete_graph_triangles(self):
+        assert triangle_count(complete_graph(5)) == 10  # C(5,3)
+
+    def test_triangle_free(self):
+        assert triangle_count(cycle_graph(5)) == 0
+        assert triangle_count(star_graph(6)) == 0
+
+    def test_matches_networkx_on_random_graphs(self):
+        for seed in range(6):
+            g = erdos_renyi_gnm(30, 90, seed=seed)
+            expected = sum(nx.triangles(to_nx(g)).values()) // 3
+            assert triangle_count(g) == expected
+
+    def test_triplets(self):
+        assert connected_triplet_count(star_graph(4)) == 6  # C(4,2)
+        assert connected_triplet_count(complete_graph(4)) == 12
+
+
+class TestClustering:
+    def test_complete_graph_is_one(self):
+        assert global_clustering_coefficient(complete_graph(6)) == 1.0
+
+    def test_triangle_free_is_zero(self):
+        assert global_clustering_coefficient(cycle_graph(6)) == 0.0
+
+    def test_no_triplets_is_zero(self):
+        assert global_clustering_coefficient(Graph([(0, 1)])) == 0.0
+
+    def test_matches_networkx_transitivity(self):
+        for seed in range(6):
+            g = erdos_renyi_gnm(25, 70, seed=100 + seed)
+            assert global_clustering_coefficient(g) == pytest.approx(
+                nx.transitivity(to_nx(g))
+            )
+
+
+class TestGini:
+    def test_uniform_is_zero(self):
+        assert gini_coefficient([5.0] * 10) == pytest.approx(0.0)
+
+    def test_concentrated_is_high(self):
+        assert gini_coefficient([0.0] * 9 + [100.0]) == pytest.approx(0.9)
+
+    def test_empty_is_nan(self):
+        assert math.isnan(gini_coefficient([]))
+
+    def test_all_zero_is_zero(self):
+        assert gini_coefficient([0.0, 0.0]) == 0.0

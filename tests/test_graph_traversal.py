@@ -1,0 +1,70 @@
+"""Unit tests for BFS and connected components."""
+
+import pytest
+
+from repro.errors import VertexNotFoundError
+from repro.graph.adjacency import Graph
+from repro.graph.generators import cycle_graph
+from repro.graph.traversal import (
+    bfs_distances,
+    bfs_order,
+    component_of,
+    connected_components,
+    is_connected,
+    largest_component,
+)
+
+
+@pytest.fixture
+def two_components() -> Graph:
+    g = Graph([(0, 1), (1, 2), (2, 0), (0, 3)])  # component of 4
+    g.add_edge(10, 11)  # component of 2
+    g.add_vertex(20)  # isolated singleton
+    return g
+
+
+class TestBfs:
+    def test_order_starts_at_source(self, triangle):
+        order = list(bfs_order(triangle, 1))
+        assert order[0] == 1
+        assert set(order) == {0, 1, 2}
+
+    def test_distances_on_cycle(self):
+        g = cycle_graph(6)
+        dist = bfs_distances(g, 0)
+        assert dist == {0: 0, 1: 1, 5: 1, 2: 2, 4: 2, 3: 3}
+
+    def test_unknown_source_raises(self, triangle):
+        with pytest.raises(VertexNotFoundError):
+            list(bfs_order(triangle, 42))
+        with pytest.raises(VertexNotFoundError):
+            bfs_distances(triangle, 42)
+
+    def test_bfs_restricted_to_component(self, two_components):
+        assert set(bfs_order(two_components, 10)) == {10, 11}
+
+
+class TestComponents:
+    def test_component_of(self, two_components):
+        assert component_of(two_components, 2) == {0, 1, 2, 3}
+        assert component_of(two_components, 20) == {20}
+
+    def test_connected_components_sorted_by_size(self, two_components):
+        comps = connected_components(two_components)
+        assert [len(c) for c in comps] == [4, 2, 1]
+
+    def test_is_connected(self, triangle, two_components):
+        assert is_connected(triangle)
+        assert not is_connected(two_components)
+        assert is_connected(Graph())  # vacuous
+        single = Graph()
+        single.add_vertex(1)
+        assert is_connected(single)
+
+    def test_largest_component_graph(self, two_components):
+        largest = largest_component(two_components)
+        assert set(largest.vertices()) == {0, 1, 2, 3}
+        assert largest.num_edges == 4
+
+    def test_largest_component_of_empty(self):
+        assert largest_component(Graph()).num_vertices == 0

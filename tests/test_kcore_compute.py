@@ -1,0 +1,77 @@
+"""Unit tests for direct k-core computation, with a networkx oracle."""
+
+import networkx as nx
+import pytest
+
+from repro.errors import ParameterError
+from repro.graph.adjacency import Graph
+from repro.graph.compact import CompactAdjacency
+from repro.graph.generators import complete_graph, erdos_renyi_gnm, star_graph
+from repro.kcore.compute import k_core, k_core_vertices, k_core_vertices_compact
+
+
+def nx_k_core_vertices(graph: Graph, k: int) -> set:
+    g = nx.Graph()
+    g.add_nodes_from(graph.vertices())
+    g.add_edges_from(graph.edges())
+    return set(nx.k_core(g, k).nodes)
+
+
+class TestKnownGraphs:
+    def test_triangle_2core(self, triangle_with_tail):
+        assert k_core_vertices(triangle_with_tail, 2) == {0, 1, 2}
+
+    def test_k_zero_keeps_everything(self, triangle_with_tail):
+        assert k_core_vertices(triangle_with_tail, 0) == {0, 1, 2, 3}
+
+    def test_star_has_no_2core(self):
+        assert k_core_vertices(star_graph(5), 2) == set()
+
+    def test_complete_graph(self):
+        g = complete_graph(6)
+        assert k_core_vertices(g, 5) == set(range(6))
+        assert k_core_vertices(g, 6) == set()
+
+    def test_cascading_removal(self):
+        # path of degree-2 vertices collapses entirely at k=2
+        g = Graph([(0, 1), (1, 2), (2, 3)])
+        assert k_core_vertices(g, 2) == set()
+
+    def test_returns_induced_subgraph(self, triangle_with_tail):
+        core = k_core(triangle_with_tail, 2)
+        assert core.num_vertices == 3
+        assert core.num_edges == 3
+
+    def test_negative_k_rejected(self, triangle):
+        with pytest.raises(ParameterError):
+            k_core_vertices(triangle, -1)
+
+
+class TestAgainstNetworkx:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_graphs_all_k(self, seed):
+        g = erdos_renyi_gnm(30, 80, seed=seed)
+        for k in range(0, 10):
+            assert k_core_vertices(g, k) == nx_k_core_vertices(g, k)
+
+
+class TestThresholdPeeling:
+    def test_per_vertex_thresholds(self):
+        # threshold array reproducing the plain k-core
+        g = erdos_renyi_gnm(20, 50, seed=3)
+        snap = CompactAdjacency(g)
+        plain = k_core_vertices_compact(snap, 3)
+        custom = k_core_vertices_compact(snap, 3, thresholds=[3] * 20)
+        assert plain == custom
+
+    def test_threshold_length_validated(self, triangle):
+        snap = CompactAdjacency(triangle)
+        with pytest.raises(ParameterError):
+            k_core_vertices_compact(snap, 1, thresholds=[1, 1])
+
+    def test_heterogeneous_thresholds(self):
+        g = complete_graph(5)
+        snap = CompactAdjacency(g)
+        thresholds = [5, 0, 0, 0, 0]  # vertex 0 is impossible to satisfy
+        survivors = {snap.labels[i] for i in k_core_vertices_compact(snap, 0, thresholds)}
+        assert survivors == {1, 2, 3, 4}

@@ -1,0 +1,111 @@
+"""Unit tests for the bucket core decomposition."""
+
+import networkx as nx
+import pytest
+
+from repro.graph.adjacency import Graph
+from repro.graph.generators import (
+    barabasi_albert,
+    complete_graph,
+    cycle_graph,
+    erdos_renyi_gnm,
+    star_graph,
+)
+from repro.kcore.decomposition import (
+    core_decomposition,
+    degeneracy,
+    degeneracy_ordering,
+)
+
+
+def nx_core_numbers(graph: Graph) -> dict:
+    g = nx.Graph()
+    g.add_nodes_from(graph.vertices())
+    g.add_edges_from(graph.edges())
+    return nx.core_number(g)
+
+
+class TestKnownGraphs:
+    def test_complete_graph(self):
+        cd = core_decomposition(complete_graph(7))
+        assert cd.degeneracy == 6
+        assert all(c == 6 for c in cd.core_numbers.values())
+
+    def test_cycle(self):
+        cd = core_decomposition(cycle_graph(9))
+        assert cd.degeneracy == 2
+        assert set(cd.core_numbers.values()) == {2}
+
+    def test_star(self):
+        cd = core_decomposition(star_graph(8))
+        assert cd.degeneracy == 1
+
+    def test_isolated_vertices_have_core_zero(self):
+        g = Graph([(0, 1)])
+        g.add_vertex(9)
+        cd = core_decomposition(g)
+        assert cd.core_numbers[9] == 0
+        assert cd.core_numbers[0] == 1
+
+    def test_empty_graph(self):
+        cd = core_decomposition(Graph())
+        assert cd.degeneracy == 0
+        assert cd.core_numbers == {}
+        assert list(cd.peel_order) == []
+
+    def test_figure1_like(self, figure1_like_graph):
+        cd = core_decomposition(figure1_like_graph)
+        # the K5 block has core number >= 4
+        assert cd.core_numbers[10] >= 4
+        assert cd.core_numbers[0] <= 2
+
+
+class TestAgainstNetworkx:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random(self, seed):
+        g = erdos_renyi_gnm(40, 120, seed=seed)
+        assert core_decomposition(g).core_numbers == nx_core_numbers(g)
+
+    def test_powerlaw(self):
+        g = barabasi_albert(150, 4, seed=1)
+        assert core_decomposition(g).core_numbers == nx_core_numbers(g)
+
+
+class TestDerived:
+    def test_k_core_vertices_consistent(self):
+        g = erdos_renyi_gnm(35, 100, seed=2)
+        cd = core_decomposition(g)
+        for k in range(cd.degeneracy + 2):
+            expected = {v for v, c in cd.core_numbers.items() if c >= k}
+            assert cd.k_core_vertices(k) == expected
+
+    def test_core_size_profile(self):
+        g = erdos_renyi_gnm(35, 100, seed=3)
+        cd = core_decomposition(g)
+        profile = cd.core_size_profile()
+        assert profile[0] == g.num_vertices
+        for k in range(cd.degeneracy + 1):
+            assert profile[k] == len(cd.k_core_vertices(k))
+        # non-increasing
+        assert all(a >= b for a, b in zip(profile, profile[1:]))
+
+    def test_degeneracy_ordering_property(self):
+        # each vertex has <= d(G) neighbours later in the ordering
+        g = erdos_renyi_gnm(40, 140, seed=4)
+        d = degeneracy(g)
+        order = degeneracy_ordering(g)
+        position = {v: i for i, v in enumerate(order)}
+        for v in order:
+            later = sum(1 for w in g.neighbors(v) if position[w] > position[v])
+            assert later <= d
+
+    def test_peel_order_is_a_permutation(self):
+        g = erdos_renyi_gnm(25, 60, seed=5)
+        cd = core_decomposition(g)
+        assert sorted(cd.peel_order, key=repr) == sorted(g.vertices(), key=repr)
+
+    def test_core_number_lookup(self, triangle):
+        cd = core_decomposition(triangle)
+        assert cd.core_number(0) == 2
+        with pytest.raises(KeyError):
+            cd.core_number(99)

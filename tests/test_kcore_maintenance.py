@@ -1,0 +1,130 @@
+"""Unit and randomized tests for incremental core maintenance."""
+
+import random
+
+import pytest
+
+from repro.errors import EdgeExistsError, EdgeNotFoundError, SelfLoopError
+from repro.graph.adjacency import Graph
+from repro.graph.generators import barabasi_albert, erdos_renyi_gnm
+from repro.kcore.decomposition import core_decomposition
+from repro.kcore.maintenance import CoreMaintainer
+
+
+def assert_consistent(maintainer: CoreMaintainer) -> None:
+    fresh = core_decomposition(maintainer.graph).core_numbers
+    assert maintainer.core_numbers() == fresh
+
+
+class TestSingleUpdates:
+    def test_insert_promotes_level(self, triangle):
+        g = Graph([(0, 1), (1, 2)])  # a path: all cn = 1
+        maintainer = CoreMaintainer(g)
+        promoted = maintainer.insert_edge(0, 2)
+        assert promoted == {0, 1, 2}
+        assert maintainer.core_number(1) == 2
+
+    def test_delete_demotes_level(self, triangle):
+        maintainer = CoreMaintainer(triangle)
+        demoted = maintainer.delete_edge(0, 1)
+        assert demoted == {0, 1, 2}
+        assert maintainer.core_numbers() == {0: 1, 1: 1, 2: 1}
+
+    def test_insert_between_new_vertices(self):
+        maintainer = CoreMaintainer(Graph())
+        maintainer.insert_edge("a", "b")
+        assert maintainer.core_number("a") == 1
+        assert maintainer.core_number("b") == 1
+
+    def test_insert_no_change_far_from_core(self, two_triangles_bridge):
+        maintainer = CoreMaintainer(two_triangles_bridge)
+        # pendant attachment to a triangle vertex cannot change any cn
+        changed = maintainer.insert_edge(0, 99)
+        assert maintainer.core_number(99) == 1
+        assert maintainer.core_number(0) == 2
+        assert_consistent(maintainer)
+        assert changed == {99}
+
+    def test_duplicate_insert_rejected(self, triangle):
+        maintainer = CoreMaintainer(triangle)
+        with pytest.raises(EdgeExistsError):
+            maintainer.insert_edge(0, 1)
+
+    def test_self_loop_rejected(self, triangle):
+        maintainer = CoreMaintainer(triangle)
+        with pytest.raises(SelfLoopError):
+            maintainer.insert_edge(1, 1)
+
+    def test_missing_delete_rejected(self, triangle):
+        maintainer = CoreMaintainer(triangle)
+        with pytest.raises(EdgeNotFoundError):
+            maintainer.delete_edge(0, 99)
+
+    def test_degeneracy_tracks(self, triangle):
+        maintainer = CoreMaintainer(triangle)
+        assert maintainer.degeneracy == 2
+        maintainer.delete_edge(0, 1)
+        assert maintainer.degeneracy == 1
+
+
+class TestVertexOps:
+    def test_insert_vertex_with_neighbors(self, triangle):
+        maintainer = CoreMaintainer(triangle)
+        maintainer.insert_vertex(9, neighbors=[0, 1, 2])
+        assert maintainer.core_number(9) == 3
+        assert_consistent(maintainer)
+
+    def test_insert_isolated_vertex(self, triangle):
+        maintainer = CoreMaintainer(triangle)
+        maintainer.insert_vertex(9)
+        assert maintainer.core_number(9) == 0
+        assert_consistent(maintainer)
+
+    def test_delete_vertex(self, two_triangles_bridge):
+        maintainer = CoreMaintainer(two_triangles_bridge)
+        maintainer.delete_vertex(0)
+        assert not maintainer.graph.has_vertex(0)
+        assert_consistent(maintainer)
+
+
+class TestRandomizedStreams:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_against_recomputation(self, seed):
+        rng = random.Random(seed)
+        n = rng.randint(6, 24)
+        m = rng.randint(n, min(70, n * (n - 1) // 2))
+        g = erdos_renyi_gnm(n, m, seed=seed)
+        maintainer = CoreMaintainer(g)
+        edges = list(g.edges())
+        for _ in range(50):
+            if edges and rng.random() < 0.5:
+                u, v = edges.pop(rng.randrange(len(edges)))
+                maintainer.delete_edge(u, v)
+            else:
+                u, v = rng.randrange(n), rng.randrange(n)
+                if u == v or maintainer.graph.has_edge(u, v):
+                    continue
+                maintainer.insert_edge(u, v)
+                edges.append((u, v))
+            assert_consistent(maintainer)
+
+    def test_powerlaw_stream(self):
+        g = barabasi_albert(60, 3, seed=2)
+        maintainer = CoreMaintainer(g)
+        rng = random.Random(2)
+        edges = list(g.edges())
+        for _ in range(40):
+            u, v = edges.pop(rng.randrange(len(edges)))
+            maintainer.delete_edge(u, v)
+            assert_consistent(maintainer)
+
+    def test_changed_sets_are_exact(self):
+        rng = random.Random(7)
+        g = erdos_renyi_gnm(15, 40, seed=7)
+        maintainer = CoreMaintainer(g)
+        before = maintainer.core_numbers()
+        edges = list(g.edges())
+        u, v = edges[rng.randrange(len(edges))]
+        changed = maintainer.delete_edge(u, v)
+        after = maintainer.core_numbers()
+        assert changed == {w for w in before if before[w] != after[w]}

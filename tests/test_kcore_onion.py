@@ -1,0 +1,70 @@
+"""Unit tests for the onion decomposition."""
+
+import pytest
+
+from repro.graph.adjacency import Graph
+from repro.graph.generators import complete_graph, cycle_graph, erdos_renyi_gnm, star_graph
+from repro.kcore.decomposition import core_decomposition
+from repro.kcore.onion import onion_decomposition
+
+
+class TestCoreNumbersAgree:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_graphs(self, seed):
+        g = erdos_renyi_gnm(30, 85, seed=seed)
+        onion = onion_decomposition(g)
+        assert onion.core_numbers == core_decomposition(g).core_numbers
+
+
+class TestLayers:
+    def test_cycle_is_one_layer(self):
+        onion = onion_decomposition(cycle_graph(8))
+        assert onion.num_layers == 1
+        assert set(onion.layers.values()) == {1}
+
+    def test_complete_graph_is_one_layer(self):
+        onion = onion_decomposition(complete_graph(5))
+        assert onion.num_layers == 1
+
+    def test_path_peels_from_the_ends(self):
+        g = Graph([(0, 1), (1, 2), (2, 3), (3, 4)])
+        onion = onion_decomposition(g)
+        # ends go first, then the next pair, then the middle
+        assert onion.layer_of(0) == onion.layer_of(4) == 1
+        assert onion.layer_of(1) == onion.layer_of(3) == 2
+        assert onion.layer_of(2) == 3
+
+    def test_star_center_and_leaves(self):
+        onion = onion_decomposition(star_graph(6))
+        # leaves fall in round one; the centre becomes isolated (degree 0
+        # <= threshold 1) only in round two
+        leaves_layer = {onion.layer_of(v) for v in range(1, 7)}
+        assert leaves_layer == {1}
+        assert onion.layer_of(0) == 2
+
+    def test_layers_refine_shells(self):
+        g = erdos_renyi_gnm(60, 200, seed=9)
+        onion = onion_decomposition(g)
+        assert all(layer >= 1 for layer in onion.layers.values())
+        # every distinct core value opens at least one round of its own
+        distinct_cores = set(onion.core_numbers.values())
+        assert onion.num_layers >= len(distinct_cores)
+        # layer numbers are monotone along the peel: a vertex with a
+        # smaller core number never sits in a deeper layer than one whose
+        # shell is peeled strictly later
+        by_core: dict[int, list[int]] = {}
+        for v, layer in onion.layers.items():
+            by_core.setdefault(onion.core_numbers[v], []).append(layer)
+        cores_sorted = sorted(by_core)
+        for lower, higher in zip(cores_sorted, cores_sorted[1:]):
+            assert max(by_core[lower]) <= min(by_core[higher])
+
+    def test_vertices_in_layer(self):
+        onion = onion_decomposition(star_graph(3))
+        assert onion.vertices_in_layer(1) == {1, 2, 3}
+        assert onion.vertices_in_layer(2) == {0}
+
+    def test_empty_graph(self):
+        onion = onion_decomposition(Graph())
+        assert onion.num_layers == 0
+        assert onion.layers == {}

@@ -1,0 +1,203 @@
+"""Tests for the order-based core maintainer and the k-order invariant."""
+
+import random
+
+import pytest
+
+from repro.errors import EdgeExistsError, EdgeNotFoundError, SelfLoopError
+from repro.graph.adjacency import Graph
+from repro.graph.generators import barabasi_albert, erdos_renyi_gnm
+from repro.kcore.decomposition import core_decomposition
+from repro.kcore.maintenance import CoreMaintainer
+from repro.kcore.order_maintenance import OrderBasedCoreMaintainer, is_valid_k_order
+
+
+def assert_exact(maintainer: OrderBasedCoreMaintainer) -> None:
+    fresh = core_decomposition(maintainer.graph).core_numbers
+    assert maintainer.core_numbers() == fresh
+    assert is_valid_k_order(maintainer.graph, maintainer.k_order(), fresh)
+
+
+class TestKOrderValidity:
+    def test_fresh_decomposition_order_is_valid(self):
+        g = erdos_renyi_gnm(25, 70, seed=1)
+        cd = core_decomposition(g)
+        assert is_valid_k_order(g, cd.peel_order, cd.core_numbers)
+
+    def test_rejects_wrong_vertex_multiset(self, triangle):
+        cd = core_decomposition(triangle)
+        assert not is_valid_k_order(triangle, [0, 1], cd.core_numbers)
+        assert not is_valid_k_order(triangle, [0, 1, 1], cd.core_numbers)
+
+    def test_rejects_decreasing_core_numbers(self):
+        g = Graph([(0, 1), (1, 2), (2, 0), (0, 3)])  # cn: 2,2,2,1
+        cd = core_decomposition(g)
+        bad_order = [0, 1, 2, 3]  # vertex 3 (cn=1) after the triangle
+        assert not is_valid_k_order(g, bad_order, cd.core_numbers)
+
+    def test_rejects_overloaded_prefix_vertex(self):
+        # the pendant vertex (cn=1) placed after the K4 violates the
+        # non-decreasing-core-number condition; the fresh peel order passes
+        g = Graph([(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3), (0, 4)])
+        cd = core_decomposition(g)
+        assert is_valid_k_order(g, list(cd.peel_order), cd.core_numbers)
+        assert not is_valid_k_order(g, [0, 1, 2, 3, 4], cd.core_numbers)
+
+
+class TestSingleUpdates:
+    def test_promotion(self):
+        g = Graph([(0, 1), (1, 2)])
+        m = OrderBasedCoreMaintainer(g)
+        promoted = m.insert_edge(0, 2)
+        assert promoted == {0, 1, 2}
+        assert_exact(m)
+
+    def test_no_change_insertion_keeps_order_valid(self, two_triangles_bridge):
+        m = OrderBasedCoreMaintainer(two_triangles_bridge.copy())
+        m.insert_edge(0, 4)  # cross edge between the triangles, no cn change
+        assert_exact(m)
+
+    def test_demotion(self, triangle):
+        m = OrderBasedCoreMaintainer(triangle.copy())
+        demoted = m.delete_edge(0, 1)
+        assert demoted == {0, 1, 2}
+        assert_exact(m)
+
+    def test_new_vertices(self):
+        m = OrderBasedCoreMaintainer(Graph())
+        m.insert_edge("a", "b")
+        assert m.core_number("a") == 1
+        assert_exact(m)
+
+    def test_vertex_dynamics(self, triangle):
+        m = OrderBasedCoreMaintainer(triangle.copy())
+        m.insert_vertex(9, neighbors=[0, 1, 2])
+        assert m.core_number(9) == 3
+        assert_exact(m)
+        m.delete_vertex(9)
+        assert not m.graph.has_vertex(9)
+        assert_exact(m)
+
+    def test_error_paths(self, triangle):
+        m = OrderBasedCoreMaintainer(triangle.copy())
+        with pytest.raises(EdgeExistsError):
+            m.insert_edge(0, 1)
+        with pytest.raises(SelfLoopError):
+            m.insert_edge(1, 1)
+        with pytest.raises(EdgeNotFoundError):
+            m.delete_edge(0, 9)
+
+    def test_degeneracy_property(self, triangle):
+        m = OrderBasedCoreMaintainer(triangle.copy())
+        assert m.degeneracy == 2
+
+
+class TestRandomizedStreams:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_exactness_and_order_invariant(self, seed):
+        rng = random.Random(seed)
+        n = rng.randint(6, 20)
+        m_edges = rng.randint(n, min(55, n * (n - 1) // 2))
+        g = erdos_renyi_gnm(n, m_edges, seed=seed)
+        m = OrderBasedCoreMaintainer(g.copy())
+        edges = list(g.edges())
+        for _ in range(40):
+            if edges and rng.random() < 0.5:
+                u, v = edges.pop(rng.randrange(len(edges)))
+                m.delete_edge(u, v)
+            else:
+                u, v = rng.randrange(n), rng.randrange(n)
+                if u == v or m.graph.has_edge(u, v):
+                    continue
+                m.insert_edge(u, v)
+                edges.append((u, v))
+            assert_exact(m)
+
+    def test_agrees_with_traversal_maintainer(self):
+        g = barabasi_albert(30, 3, seed=9)
+        order_based = OrderBasedCoreMaintainer(g.copy())
+        traversal = CoreMaintainer(g.copy())
+        rng = random.Random(9)
+        edges = list(g.edges())
+        for _ in range(30):
+            if edges and rng.random() < 0.5:
+                u, v = edges.pop(rng.randrange(len(edges)))
+                a = order_based.delete_edge(u, v)
+                b = traversal.delete_edge(u, v)
+            else:
+                u, v = rng.randrange(30), rng.randrange(30)
+                if u == v or order_based.graph.has_edge(u, v):
+                    continue
+                a = order_based.insert_edge(u, v)
+                b = traversal.insert_edge(u, v)
+                edges.append((u, v))
+            assert a == b  # identical changed sets
+            assert order_based.core_numbers() == traversal.core_numbers()
+
+
+class TestIndexBackend:
+    def test_kp_index_maintainer_with_order_backend(self):
+        from repro.core import KPIndex, KPIndexMaintainer
+
+        g = erdos_renyi_gnm(14, 36, seed=11)
+        m = KPIndexMaintainer(g.copy(), strict=True, core_backend="order")
+        rng = random.Random(11)
+        edges = list(g.edges())
+        for _ in range(20):
+            if edges and rng.random() < 0.5:
+                u, v = edges.pop(rng.randrange(len(edges)))
+                m.delete_edge(u, v)
+            else:
+                u, v = rng.randrange(14), rng.randrange(14)
+                if u == v or m.graph.has_edge(u, v):
+                    continue
+                m.insert_edge(u, v)
+                edges.append((u, v))
+            assert m.index.semantically_equal(KPIndex.build(m.graph))
+
+    def test_unknown_backend_rejected(self, triangle):
+        from repro.errors import ParameterError
+        from repro.core import KPIndexMaintainer
+
+        with pytest.raises(ParameterError):
+            KPIndexMaintainer(triangle.copy(), core_backend="quantum")
+
+
+class TestLargeLabelRegression:
+    def test_walk_trigger_with_uninterned_labels(self):
+        """Regression: the forward walk must recognize its trigger vertex
+        by value, not identity (CPython interns only small ints)."""
+        base = 10_000  # far above the small-int cache
+        # K4 on big labels plus a level-2 vertex wired to three of them
+        g = Graph(
+            [
+                (base + 0, base + 1), (base + 0, base + 2), (base + 0, base + 3),
+                (base + 1, base + 2), (base + 1, base + 3), (base + 2, base + 3),
+                (base + 9, base + 0), (base + 9, base + 1),
+            ]
+        )
+        m = OrderBasedCoreMaintainer(g)
+        assert m.core_number(base + 9) == 2
+        promoted = m.insert_edge(int(f"{base + 9}"), base + 2)
+        assert promoted == {base + 9}
+        assert_exact(m)
+
+    def test_long_stream_on_large_labels(self):
+        g = erdos_renyi_gnm(40, 140, seed=21)
+        relabeled = Graph(((u + 5000, v + 5000) for u, v in g.edges()))
+        m = OrderBasedCoreMaintainer(relabeled.copy())
+        t = CoreMaintainer(relabeled.copy())
+        rng = random.Random(21)
+        edges = list(relabeled.edges())
+        for _ in range(60):
+            if edges and rng.random() < 0.5:
+                u, v = edges.pop(rng.randrange(len(edges)))
+                assert m.delete_edge(u, v) == t.delete_edge(u, v)
+            else:
+                u = rng.randrange(5000, 5040)
+                v = rng.randrange(5000, 5040)
+                if u == v or m.graph.has_edge(u, v):
+                    continue
+                assert m.insert_edge(u, v) == t.insert_edge(u, v)
+                edges.append((u, v))
+        assert_exact(m)

@@ -1,0 +1,82 @@
+"""Hypothesis property tests for the Sec. VI bound machinery."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.bounds import scaled_h_index, upper_h_value
+from repro.core.pvalue import as_fraction, fraction_threshold
+
+
+values_strategy = st.lists(st.floats(0.0, 1.0, allow_nan=False), max_size=14)
+denominator_strategy = st.integers(1, 20)
+
+
+def brute_force_upper(values: list[float], denominator: int) -> float:
+    """max over j of min(j-th largest value, j/D), by definition."""
+    ordered = sorted(values, reverse=True)
+    best = 0.0
+    for j, val in enumerate(ordered, start=1):
+        best = max(best, min(val, j / denominator))
+    return best
+
+
+def brute_force_grid(values: list[float], denominator: int) -> float:
+    """max{i/D : at least i values >= i/D}, by definition."""
+    best = 0.0
+    for i in range(1, len(values) + 1):
+        if sum(1 for v in values if v >= i / denominator) >= i:
+            best = max(best, i / denominator)
+    return best
+
+
+@given(values_strategy, denominator_strategy)
+@settings(max_examples=300, deadline=None)
+def test_upper_h_value_matches_definition(values, denominator):
+    assert upper_h_value(values, denominator) == brute_force_upper(
+        values, denominator
+    )
+
+
+@given(values_strategy, denominator_strategy)
+@settings(max_examples=300, deadline=None)
+def test_grid_h_index_matches_definition(values, denominator):
+    assert scaled_h_index(values, denominator) == brute_force_grid(
+        values, denominator
+    )
+
+
+@given(values_strategy, denominator_strategy)
+@settings(max_examples=200, deadline=None)
+def test_upper_dominates_grid(values, denominator):
+    assert upper_h_value(values, denominator) >= scaled_h_index(
+        values, denominator
+    )
+
+
+@given(values_strategy, denominator_strategy)
+@settings(max_examples=200, deadline=None)
+def test_upper_h_value_bounded_by_inputs(values, denominator):
+    bound = upper_h_value(values, denominator)
+    assert 0.0 <= bound <= 1.0
+    if values:
+        assert bound <= max(values)
+        assert bound <= len(values) / denominator
+
+
+@given(st.integers(1, 2000), st.floats(0.0, 1.0, allow_nan=False))
+@settings(max_examples=300, deadline=None)
+def test_fraction_threshold_defining_property(degree, p):
+    t = fraction_threshold(p, degree)
+    assert 0 <= t <= degree
+    assert t / degree >= p
+    assert t == 0 or (t - 1) / degree < p
+
+
+@given(st.integers(1, 300), st.integers(0, 300))
+@settings(max_examples=300, deadline=None)
+def test_as_fraction_round_trips_small_rationals(den, num_raw):
+    num = num_raw % (den + 1)
+    assert as_fraction(num / den, den) == Fraction(num, den)

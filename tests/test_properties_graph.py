@@ -1,0 +1,121 @@
+"""Hypothesis property tests for the graph substrate."""
+
+from __future__ import annotations
+
+import io
+
+from hypothesis import given, settings, strategies as st
+
+from repro.graph.adjacency import Graph
+from repro.graph.compact import CompactAdjacency
+from repro.graph.io import read_edge_list, write_edge_list
+from repro.graph.metrics import (
+    connected_triplet_count,
+    density,
+    global_clustering_coefficient,
+    triangle_count,
+)
+from repro.graph.traversal import connected_components
+from repro.graph.views import sample_edges, sample_vertices
+
+
+MAX_N = 14
+
+edges_strategy = st.lists(
+    st.tuples(st.integers(0, MAX_N - 1), st.integers(0, MAX_N - 1)).filter(
+        lambda e: e[0] != e[1]
+    ),
+    max_size=40,
+)
+
+
+@given(edges_strategy)
+@settings(max_examples=100, deadline=None)
+def test_handshake_lemma(edges):
+    g = Graph(edges)
+    assert sum(g.degree(v) for v in g.vertices()) == 2 * g.num_edges
+
+
+@given(edges_strategy)
+@settings(max_examples=100, deadline=None)
+def test_edges_iterator_covers_each_edge_once(edges):
+    g = Graph(edges)
+    seen = {frozenset(e) for e in g.edges()}
+    assert len(seen) == g.num_edges
+    for u, v in g.edges():
+        assert g.has_edge(u, v)
+
+
+@given(edges_strategy)
+@settings(max_examples=80, deadline=None)
+def test_edge_list_round_trip(edges):
+    g = Graph(edges)
+    buffer = io.StringIO()
+    write_edge_list(g, buffer)
+    buffer.seek(0)
+    again = read_edge_list(buffer)
+    # isolated vertices are not representable in an edge list; compare the
+    # non-isolated structure
+    non_isolated = [v for v in g.vertices() if g.degree(v) > 0]
+    assert again == g.induced_subgraph(non_isolated)
+
+
+@given(edges_strategy)
+@settings(max_examples=80, deadline=None)
+def test_compact_snapshot_is_faithful(edges):
+    g = Graph(edges)
+    snap = CompactAdjacency(g)
+    assert snap.num_edges == g.num_edges
+    for v in g.vertices():
+        i = snap.index_of(v)
+        assert {snap.labels[j] for j in snap.neighbor_slice(i)} == g.neighbors(v)
+
+
+@given(edges_strategy)
+@settings(max_examples=80, deadline=None)
+def test_components_partition_the_vertex_set(edges):
+    g = Graph(edges)
+    components = connected_components(g)
+    union: set = set()
+    for component in components:
+        assert not (union & component)
+        union |= component
+    assert union == set(g.vertices())
+    # no edge crosses components
+    index_of = {v: i for i, c in enumerate(components) for v in c}
+    for u, v in g.edges():
+        assert index_of[u] == index_of[v]
+
+
+@given(edges_strategy)
+@settings(max_examples=80, deadline=None)
+def test_metric_ranges(edges):
+    g = Graph(edges)
+    assert 0.0 <= density(g) <= 1.0
+    cc = global_clustering_coefficient(g)
+    assert 0.0 <= cc <= 1.0
+    assert triangle_count(g) * 3 <= max(1, connected_triplet_count(g)) * 1
+
+
+@given(edges_strategy)
+@settings(max_examples=60, deadline=None)
+def test_triangles_invariant_under_relabeling(edges):
+    g = Graph(edges)
+    relabeled = Graph(
+        ((f"x{u}", f"x{v}") for u, v in g.edges())
+    )
+    assert triangle_count(relabeled) == triangle_count(g)
+
+
+@given(edges_strategy, st.floats(0.1, 1.0), st.integers(0, 100))
+@settings(max_examples=60, deadline=None)
+def test_sampling_shrinks(edges, ratio, seed):
+    g = Graph(edges)
+    if g.num_vertices == 0 or g.num_edges == 0:
+        return
+    vs = sample_vertices(g, ratio, seed=seed)
+    es = sample_edges(g, ratio, seed=seed)
+    assert vs.num_vertices <= g.num_vertices
+    assert es.num_edges <= g.num_edges
+    for u, v in es.edges():
+        assert g.has_edge(u, v)
