@@ -20,7 +20,7 @@ from repro.graph.adjacency import Graph, Vertex
 from repro.graph.traversal import connected_components
 from repro.kcore.compute import k_core_vertices
 from repro.core.kpcore import kp_core_vertices
-from repro.core.pvalue import check_p, fraction_threshold
+from repro.core.pvalue import check_p, fraction_threshold, fraction_value
 
 __all__ = ["ComponentReport", "CascadeStep", "case_study", "departure_cascade"]
 
@@ -122,8 +122,10 @@ def case_study(
         )
     component = components[component_rank]
     fractions = {
-        v: sum(1 for w in graph.neighbors(v) if w in component)
-        / graph.degree(v)
+        v: fraction_value(
+            sum(1 for w in graph.neighbors(v) if w in component),
+            graph.degree(v),
+        )
         for v in component
     }
     min_vertex = min(component, key=lambda v: (fractions[v], repr(v)))

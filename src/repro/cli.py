@@ -9,7 +9,9 @@ Glue for using the library without writing Python:
 * ``index query I -k K -p P`` — answer a query from a saved index,
 * ``dataset NAME [-o F]``   — materialize a synthetic stand-in,
 * ``report EXPERIMENT``     — print one table/figure reproduction
-  (``table2``, ``fig6`` … ``fig16``, ``ablation``).
+  (``table2``, ``fig6`` … ``fig16``, ``ablation``),
+* ``lint [PATH ...]``       — run the repo's KP001-KP006 AST lint rules,
+* ``selfcheck [FILE]``      — run every runtime invariant contract.
 
 All commands print to stdout; file arguments are SNAP-style edge lists.
 """
@@ -20,7 +22,7 @@ import argparse
 import sys
 from typing import Sequence
 
-from repro.errors import ReproError
+from repro.errors import ReproError, VertexLabelError
 from repro.graph.io import read_edge_list, write_edge_list
 from repro.graph.metrics import summarize
 from repro.core.decomposition import p_numbers_fixed_k
@@ -32,10 +34,13 @@ __all__ = ["main", "build_parser"]
 
 
 def _read_graph(path: str):
-    # SNAP files are usually integer-labelled; fall back to strings.
+    # SNAP files are usually integer-labelled; fall back to string labels
+    # only when that assumption is what failed.  Every other parse error
+    # (malformed lines, self loops, ...) propagates — retrying with string
+    # labels would just mask it.
     try:
         return read_edge_list(path, int_vertices=True)
-    except ReproError:
+    except VertexLabelError:
         return read_edge_list(path, int_vertices=False)
 
 
@@ -109,6 +114,21 @@ def _cmd_dataset(args: argparse.Namespace) -> int:
         print(f"{meta.name}: n={s.num_vertices} m={s.num_edges} "
               f"davg={s.average_degree:.2f} dmax={s.max_degree}")
     return 0
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.devtools.lint import explain, run
+
+    if args.explain:
+        explain()
+        return 0
+    return run(args.paths or ["."])
+
+
+def _cmd_selfcheck(args: argparse.Namespace) -> int:
+    from repro.devtools.selfcheck import run
+
+    return run(args.file)
 
 
 _REPORTS = {
@@ -195,6 +215,28 @@ def build_parser() -> argparse.ArgumentParser:
         "experiment", choices=sorted(_REPORTS) + ["fig9", "fig10"]
     )
     p_report.set_defaults(func=_cmd_report)
+
+    p_lint = sub.add_parser(
+        "lint", help="run the repo-specific AST lint rules (KP001-KP006)"
+    )
+    p_lint.add_argument(
+        "paths", nargs="*", metavar="PATH",
+        help="files or directories (default: current directory)",
+    )
+    p_lint.add_argument(
+        "--explain", action="store_true",
+        help="list the rule codes and exit",
+    )
+    p_lint.set_defaults(func=_cmd_lint)
+
+    p_check = sub.add_parser(
+        "selfcheck", help="run the runtime invariant contracts on a graph"
+    )
+    p_check.add_argument(
+        "file", nargs="?", default=None,
+        help="SNAP edge list (default: a small builtin synthetic graph)",
+    )
+    p_check.set_defaults(func=_cmd_selfcheck)
 
     return parser
 

@@ -39,7 +39,7 @@ class MaterializedIndex:
         self,
         levels: dict[int, list[float]],
         cores: dict[tuple[int, float], tuple[Vertex, ...]],
-    ):
+    ) -> None:
         self._levels = levels
         self._cores = cores
 

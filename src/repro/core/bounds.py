@@ -41,7 +41,9 @@ from __future__ import annotations
 
 from typing import Iterable
 
+from repro.errors import ParameterError
 from repro.graph.adjacency import Graph, Vertex
+from repro.core.pvalue import fraction_value
 
 __all__ = [
     "upper_h_value",
@@ -66,7 +68,7 @@ def upper_h_value(values: Iterable[float], denominator: int) -> float:
     ordered = sorted(values, reverse=True)
     best = 0.0
     for j, val in enumerate(ordered, start=1):
-        candidate = min(val, j / denominator)
+        candidate = min(val, fraction_value(j, denominator))
         if candidate > best:
             best = candidate
         if val <= best:
@@ -85,11 +87,11 @@ def scaled_h_index(values: Iterable[float], denominator: int) -> float:
     ordered = sorted(values, reverse=True)
     best = 0
     for i in range(1, len(ordered) + 1):
-        if ordered[i - 1] >= i / denominator:
+        if ordered[i - 1] >= fraction_value(i, denominator):
             best = i
         else:
             break  # values descend while i/D rises: condition stays false
-    return best / denominator if best else 0.0
+    return fraction_value(best, denominator) if best else 0.0
 
 
 def degree_in(graph: Graph, members: set[Vertex], v: Vertex) -> int:
@@ -99,7 +101,7 @@ def degree_in(graph: Graph, members: set[Vertex], v: Vertex) -> int:
 
 def fraction_in(graph: Graph, members: set[Vertex], v: Vertex) -> float:
     """``deg(v, C) / deg(v, G)`` for the subgraph induced by ``members``."""
-    return degree_in(graph, members, v) / graph.degree(v)
+    return fraction_value(degree_in(graph, members, v), graph.degree(v))
 
 
 class BoundsCache:
@@ -115,7 +117,7 @@ class BoundsCache:
 
     __slots__ = ("graph", "kcore", "_fraction", "_p_hat")
 
-    def __init__(self, graph: Graph, kcore: set[Vertex]):
+    def __init__(self, graph: Graph, kcore: set[Vertex]) -> None:
         self.graph = graph
         self.kcore = kcore
         self._fraction: dict[Vertex, float] = {}
@@ -176,7 +178,7 @@ def insertion_support_bound(
     index; the other endpoint of the new edge is outside the k-core in this
     case, hence outside ``core_at_p1``.
     """
-    return min(p1, degree_in(graph, core_at_p1, v) / graph.degree(v))
+    return min(p1, fraction_value(degree_in(graph, core_at_p1, v), graph.degree(v)))
 
 
 def deletion_pair_bound(
@@ -201,8 +203,14 @@ def deletion_pair_bound(
     (and the degree shift in its fraction terms), which lets cascades reach
     below its value.  Returns 0.0 when the witness collapses.
     """
+    if k < 0:
+        raise ParameterError(f"degree threshold k must be >= 0, got {k}")
     du = degree_in(graph, core_at_p1, u)  # (u,v) already absent from graph
     dv = degree_in(graph, core_at_p1, v)
     if du < k or dv < k:
         return 0.0
-    return min(p1, du / graph.degree(u), dv / graph.degree(v))
+    return min(
+        p1,
+        fraction_value(du, graph.degree(u)),
+        fraction_value(dv, graph.degree(v)),
+    )

@@ -29,6 +29,7 @@ from dataclasses import dataclass
 from heapq import heappush, heappop, heapify
 from typing import Mapping, Sequence
 
+from repro.devtools.contracts import verify_decomposition
 from repro.errors import ParameterError
 from repro.graph.adjacency import Graph, Vertex
 from repro.graph.compact import CompactAdjacency
@@ -108,11 +109,14 @@ def _peel_fixed_k(
         deg_s[v] = snapshot.rank_prefix_length(v, k, core)
         global_deg[v] = indptr[v + 1] - indptr[v]
 
+    # The divisions below are the canonical float-fraction construction of
+    # repro.core.pvalue.fraction_value, inlined because this is the O(m)
+    # hot path; global_deg is always >= 1 for k-core members.
     heap: list[tuple[float, int]] = [
-        (deg_s[v] / global_deg[v], v) for v in members
+        (deg_s[v] / global_deg[v], v) for v in members  # noqa: KP001 hot loop
     ]
     heapify(heap)
-    key = {v: deg_s[v] / global_deg[v] for v in members}
+    key = {v: deg_s[v] / global_deg[v] for v in members}  # noqa: KP001 hot loop
 
     alive = set(members)
     order: list[int] = []
@@ -120,7 +124,9 @@ def _peel_fixed_k(
     level = 0.0
     while heap:
         f, v = heappop(heap)
-        if v not in alive or f != key[v]:
+        # Exact-double inequality: both sides are correctly-rounded doubles
+        # of the same rational construction (see repro.core.pvalue).
+        if v not in alive or f != key[v]:  # noqa: KP002 stale-entry test
             continue  # already deleted, or a stale (higher) entry
         if f > level:
             level = f
@@ -139,15 +145,20 @@ def _peel_fixed_k(
             new_key = (
                 _DEGREE_VIOLATION
                 if deg_s[u] < k
-                else deg_s[u] / global_deg[u]
+                else deg_s[u] / global_deg[u]  # noqa: KP001 hot loop
             )
             key[u] = new_key
             heappush(heap, (new_key, u))
     return order, p_numbers
 
 
+@verify_decomposition
 def kp_core_decomposition(graph: Graph) -> KPDecomposition:
-    """Run Algorithm 2: p-numbers of every vertex for every valid ``k``."""
+    """Run Algorithm 2: p-numbers of every vertex for every valid ``k``.
+
+    Under ``REPRO_VERIFY=1`` the output is re-checked: arrays sorted in
+    deletion order, k-cores nested, p-numbers non-increasing in ``k``.
+    """
     snapshot = CompactAdjacency(graph)
     core, _ = core_numbers_compact(snapshot)
     snapshot.sort_neighbors_by_rank_desc(core)

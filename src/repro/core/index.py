@@ -19,7 +19,7 @@ from __future__ import annotations
 
 from bisect import bisect_left
 from dataclasses import dataclass, field
-from typing import Iterable, Mapping, Sequence
+from typing import Iterable, KeysView, Mapping, Sequence
 
 from repro.errors import IndexStateError, ParameterError
 from repro.graph.adjacency import Graph, Vertex
@@ -50,7 +50,7 @@ class KArray:
     level_starts: list[int] = field(init=False)
     _pn_of: dict[Vertex, float] = field(init=False, repr=False)
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if len(self.vertices) != len(self.p_numbers):
             raise IndexStateError(
                 f"A_{self.k}: {len(self.vertices)} vertices vs "
@@ -67,7 +67,8 @@ class KArray:
                 raise IndexStateError(
                     f"A_{self.k}: p-numbers not sorted at position {i}"
                 )
-            if pn != previous:
+            # Exact-double level grouping; see repro.core.pvalue.
+            if pn != previous:  # noqa: KP002
                 values.append(pn)
                 starts.append(i)
                 previous = pn
@@ -113,7 +114,7 @@ class KArray:
     def vertex_set(self) -> set[Vertex]:
         return set(self.vertices)
 
-    def members_view(self):
+    def members_view(self) -> KeysView[Vertex]:
         """O(1) read-only membership container over ``V_k`` (a dict keys
         view) — for callers that only need ``in`` tests."""
         return self._pn_of.keys()
@@ -183,7 +184,7 @@ class KPIndex:
     synchronized under edge insertions and deletions.
     """
 
-    def __init__(self, arrays: Mapping[int, KArray], num_edges: int):
+    def __init__(self, arrays: Mapping[int, KArray], num_edges: int) -> None:
         self._arrays: dict[int, KArray] = dict(arrays)
         self._num_edges = num_edges
 
@@ -252,8 +253,13 @@ class KPIndex:
         return {k: a.pn_map() for k, a in self._arrays.items() if len(a)}
 
     def semantically_equal(self, other: "KPIndex") -> bool:
-        """Order-insensitive equality of index content."""
-        return self.pn_maps() == other.pn_maps()
+        """Order-insensitive equality of index content.
+
+        Exact-double p-number equality is the *point* of this method:
+        identical rationals yield bit-identical doubles (see
+        :mod:`repro.core.pvalue`), so dict equality is exact.
+        """
+        return self.pn_maps() == other.pn_maps()  # noqa: KP002
 
     def space_stats(self) -> IndexSpaceStats:
         """Sizes for the Lemma 1 space bound."""

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from typing import Iterable
 
+from repro.devtools.contracts import verify_kp_core
 from repro.errors import ParameterError
 from repro.graph.adjacency import Graph, Vertex
 from repro.graph.compact import CompactAdjacency
@@ -51,8 +52,13 @@ def kp_core_vertices_compact(
     return k_core_vertices_compact(snapshot, k, thresholds=thresholds)
 
 
+@verify_kp_core
 def kp_core_vertices(graph: Graph, k: int, p: float) -> set[Vertex]:
-    """Vertex set of ``C_{k,p}(G)`` (possibly empty)."""
+    """Vertex set of ``C_{k,p}(G)`` (possibly empty).
+
+    Under ``REPRO_VERIFY=1`` the result is re-checked against
+    Definition 3 (:func:`satisfies_kp_constraints`).
+    """
     snapshot = CompactAdjacency(graph)
     survivors = kp_core_vertices_compact(snapshot, k, p)
     return {snapshot.labels[v] for v in survivors}

@@ -32,8 +32,15 @@ from collections import deque
 from dataclasses import dataclass, field
 from bisect import bisect_left
 from heapq import heappush, heappop, heapify
-from typing import Iterable
+from typing import TYPE_CHECKING, Iterable
 
+from repro.devtools.contracts import (
+    verify_maintainer_query,
+    verify_maintainer_update,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations
+    from repro.kcore.order_maintenance import OrderBasedCoreMaintainer
 from repro.errors import EdgeNotFoundError, IndexStateError, ParameterError
 from repro.graph.adjacency import Graph, Vertex
 from repro.kcore.maintenance import CoreMaintainer
@@ -110,10 +117,11 @@ class KPIndexMaintainer:
         mode: MaintenanceMode = MaintenanceMode.RANGE,
         strict: bool = False,
         core_backend: str = "traversal",
-    ):
+    ) -> None:
         self.graph = graph
         self.mode = mode
         self.strict = strict
+        self._cores: CoreMaintainer | OrderBasedCoreMaintainer
         if core_backend == "traversal":
             self._cores = CoreMaintainer(graph)
         elif core_backend == "order":
@@ -134,8 +142,13 @@ class KPIndexMaintainer:
     def core_number(self, v: Vertex) -> int:
         return self._cores.core_number(v)
 
+    @verify_maintainer_query
     def query(self, k: int, p: float) -> list[Vertex]:
-        """Answer a (k,p)-core query on the current graph."""
+        """Answer a (k,p)-core query on the current graph.
+
+        Under ``REPRO_VERIFY=1`` the answer is compared against a
+        from-scratch :func:`repro.core.kpcore.kp_core_vertices` run.
+        """
         return self.index.query(k, p)
 
     # ------------------------------------------------------------------
@@ -183,6 +196,7 @@ class KPIndexMaintainer:
     # ------------------------------------------------------------------
     # edge insertion — Algorithm 4 (kpIndexInsert)
     # ------------------------------------------------------------------
+    @verify_maintainer_update
     def insert_edge(self, u: Vertex, v: Vertex) -> None:
         """Insert ``(u, v)`` and repair the index."""
         cn_old_u = self._cores.core_number_or(u)
@@ -254,6 +268,7 @@ class KPIndexMaintainer:
     # ------------------------------------------------------------------
     # edge deletion — Algorithm 5 (kpIndexDelete)
     # ------------------------------------------------------------------
+    @verify_maintainer_update
     def delete_edge(self, u: Vertex, v: Vertex) -> None:
         """Delete ``(u, v)`` and repair the index."""
         if not self.graph.has_edge(u, v):
@@ -463,10 +478,12 @@ class KPIndexMaintainer:
         serial = 0
         heap: list[tuple[float, int, Vertex]] = []
         violators: deque[Vertex] = deque()
+        # Canonical float-fraction construction (pvalue.fraction_value)
+        # inlined in this hot residual peel; degrees are >= k >= 1 here.
         for w in residual:
             inside = sum(1 for x in graph.neighbors(w) if x in residual)
             deg_r[w] = inside
-            key[w] = inside / graph.degree(w)
+            key[w] = inside / graph.degree(w)  # noqa: KP001 hot loop
             heap.append((key[w], serial, w))
             serial += 1
             if inside < k:
@@ -490,7 +507,7 @@ class KPIndexMaintainer:
                 if x not in alive:
                     continue
                 deg_r[x] -= 1
-                new_key = deg_r[x] / graph.degree(x)
+                new_key = deg_r[x] / graph.degree(x)  # noqa: KP001 hot loop
                 key[x] = new_key
                 heappush(heap, (new_key, serial, x))
                 serial += 1
@@ -506,7 +523,8 @@ class KPIndexMaintainer:
             w = None
             while heap:
                 f, _, candidate = heappop(heap)
-                if candidate in alive and key[candidate] == f:
+                # Exact-double stale-entry test; see repro.core.pvalue.
+                if candidate in alive and key[candidate] == f:  # noqa: KP002
                     w = candidate
                     break
             if w is None:

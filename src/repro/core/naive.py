@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from repro.errors import ParameterError
 from repro.graph.adjacency import Graph, Vertex
-from repro.core.pvalue import check_p, fraction_threshold
+from repro.core.pvalue import check_p, fraction_threshold, fraction_value
 
 __all__ = [
     "naive_kp_core_vertices",
@@ -57,7 +57,7 @@ def naive_p_number(graph: Graph, v: Vertex, k: int) -> float | None:
         return None
     candidates = sorted(
         {
-            a / graph.degree(w)
+            fraction_value(a, graph.degree(w))
             for w in graph.vertices()
             if graph.degree(w) > 0
             for a in range(0, graph.degree(w) + 1)

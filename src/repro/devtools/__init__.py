@@ -1,0 +1,38 @@
+"""Developer tooling: repo-specific static analysis and runtime contracts.
+
+Two layers keep the library's fragile, repo-wide conventions honest as
+new backends of the O(m) peeling kernel appear:
+
+* :mod:`repro.devtools.lint` — a custom AST lint pass with rules
+  KP001-KP006 (exact-double fraction discipline, parameter validation,
+  snapshot immutability, ``__all__`` hygiene, hot-loop allocations),
+  suppressible per line with ``# noqa: KPxxx``.
+* :mod:`repro.devtools.contracts` — opt-in runtime invariant contracts
+  (``REPRO_VERIFY=1``) re-checking algorithm outputs against the paper's
+  definitions, and :mod:`repro.devtools.selfcheck`, which runs the whole
+  battery against one graph.
+
+CLI: ``python -m repro lint [PATH ...]`` and
+``python -m repro selfcheck [FILE]``.  See ``docs/development.md``.
+"""
+
+from repro.devtools.contracts import (
+    contracts_active,
+    refresh_from_env,
+    set_contracts_active,
+)
+from repro.devtools.lint import lint_file, lint_paths, lint_source
+from repro.devtools.selfcheck import selfcheck_graph
+from repro.devtools.violations import RULE_CODES, Violation
+
+__all__ = [
+    "Violation",
+    "RULE_CODES",
+    "lint_source",
+    "lint_file",
+    "lint_paths",
+    "contracts_active",
+    "set_contracts_active",
+    "refresh_from_env",
+    "selfcheck_graph",
+]

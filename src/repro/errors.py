@@ -17,8 +17,10 @@ __all__ = [
     "SelfLoopError",
     "ParameterError",
     "EdgeListParseError",
+    "VertexLabelError",
     "DatasetError",
     "IndexStateError",
+    "ContractViolationError",
 ]
 
 
@@ -94,9 +96,28 @@ class EdgeListParseError(ReproError, ValueError):
         return f"line {self.line_number}: {base}"
 
 
+class VertexLabelError(EdgeListParseError):
+    """A vertex token did not parse under the requested label type.
+
+    Distinguished from other parse failures so callers that *probe* a
+    label convention (integer labels first, strings as fallback) can
+    retry on exactly this condition without masking structural errors.
+    """
+
+
 class DatasetError(ReproError):
     """A synthetic dataset could not be produced as specified."""
 
 
 class IndexStateError(ReproError, RuntimeError):
     """A KP-Index operation was attempted from an invalid state."""
+
+
+class ContractViolationError(ReproError, AssertionError):
+    """A runtime invariant contract (``REPRO_VERIFY=1``) was violated.
+
+    Raised by :mod:`repro.devtools.contracts` when an algorithm's output
+    fails its machine-checked postcondition; always indicates a library
+    bug (or deliberately corrupted state in tests), never user error.
+    """
+

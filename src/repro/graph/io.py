@@ -13,7 +13,7 @@ import io
 import os
 from typing import IO, Iterable, Iterator, Union
 
-from repro.errors import EdgeListParseError, SelfLoopError
+from repro.errors import EdgeListParseError, SelfLoopError, VertexLabelError
 from repro.graph.adjacency import Edge, Graph
 
 __all__ = [
@@ -51,6 +51,9 @@ def iter_edge_list(
     ------
     EdgeListParseError
         For lines that are not blank, not comments, and not vertex pairs.
+        The ``int_vertices=True`` label-parse failure specifically raises
+        :class:`~repro.errors.VertexLabelError` (a subclass), so callers
+        probing the label convention can retry on exactly that case.
     """
     stream, owned = _open_for_read(source)
     try:
@@ -68,7 +71,7 @@ def iter_edge_list(
                 try:
                     yield (int(u_token), int(v_token))
                 except ValueError:
-                    raise EdgeListParseError(
+                    raise VertexLabelError(
                         f"non-integer vertex in {line!r}", line_number
                     ) from None
             else:

@@ -26,6 +26,8 @@ __all__ = [
     "connected_triplet_count",
     "global_clustering_coefficient",
     "degree_histogram",
+    "effective_diameter_lower_bound",
+    "gini_coefficient",
     "GraphSummary",
     "summarize",
 ]

@@ -20,6 +20,7 @@ __all__ = [
     "component_of",
     "is_connected",
     "largest_component",
+    "ensure_vertices",
 ]
 
 

@@ -95,7 +95,7 @@ class CoreDecomposition:
     peel_order: Sequence[Vertex]
     degeneracy: int = field(init=False)
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         max_core = max(self.core_numbers.values(), default=0)
         object.__setattr__(self, "degeneracy", max_core)
 

@@ -47,7 +47,7 @@ class CoreMaintainer:
     1
     """
 
-    def __init__(self, graph: Graph):
+    def __init__(self, graph: Graph) -> None:
         self.graph = graph
         self._core: dict[Vertex, int] = dict(
             core_decomposition(graph).core_numbers

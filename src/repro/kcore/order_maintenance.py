@@ -78,7 +78,7 @@ class OrderBasedCoreMaintainer:
     whose core number changed.
     """
 
-    def __init__(self, graph: Graph):
+    def __init__(self, graph: Graph) -> None:
         self.graph = graph
         decomposition = core_decomposition(graph)
         self._core: dict[Vertex, int] = dict(decomposition.core_numbers)

@@ -1,0 +1,249 @@
+"""Trigger / near-miss fixtures for every lint rule KP001-KP006.
+
+Each rule gets at least one snippet that must fire (with the right code)
+and one nearby snippet that must stay silent, so the heuristics cannot
+drift in either direction unnoticed.  The repo's own ``src`` tree must
+lint clean — that is the acceptance gate CI runs.
+"""
+
+from __future__ import annotations
+
+import io
+import os
+
+import pytest
+
+from repro.devtools.lint import (
+    iter_python_files,
+    lint_file,
+    lint_paths,
+    lint_source,
+    run,
+)
+from repro.devtools.violations import PARSE_ERROR_CODE, RULE_CODES, Violation
+
+REPO_SRC = os.path.join(os.path.dirname(__file__), os.pardir, "src")
+
+
+def codes(source: str, path: str = "pkg/module.py") -> list[str]:
+    return [v.code for v in lint_source(source, path=path)]
+
+
+# ----------------------------------------------------------------------
+# KP001 — raw fraction arithmetic on degree-like values
+# ----------------------------------------------------------------------
+class TestKP001:
+    def test_raw_division_on_degree_triggers(self):
+        assert codes("frac = inside / graph.degree(v)\n") == ["KP001"]
+
+    def test_ceil_of_p_times_degree_triggers(self):
+        src = "from math import ceil\nt = ceil(p * degree)\n"
+        assert codes(src) == ["KP001"]
+
+    def test_division_of_unrelated_names_is_clean(self):
+        assert codes("ratio = hits / total\n") == []
+
+    def test_pvalue_module_is_exempt(self):
+        source = "value = numerator / denominator\n"
+        assert codes(source, path="src/repro/core/pvalue.py") == []
+        assert codes(source) == ["KP001"]
+
+
+# ----------------------------------------------------------------------
+# KP002 — exact float equality on p-values
+# ----------------------------------------------------------------------
+class TestKP002:
+    def test_equality_on_p_triggers(self):
+        assert codes("flag = pn == previous\n") == ["KP002"]
+
+    def test_inequality_on_fraction_triggers(self):
+        assert codes("if frac != level:\n    pass\n") == ["KP002"]
+
+    def test_ordering_comparison_is_clean(self):
+        assert codes("if pn <= previous:\n    pass\n") == []
+
+    def test_equality_on_non_p_names_is_clean(self):
+        assert codes("done = count == total\n") == []
+
+
+# ----------------------------------------------------------------------
+# KP003 — exported functions must validate or forward p/k
+# ----------------------------------------------------------------------
+class TestKP003:
+    def test_unvalidated_public_p_triggers(self):
+        src = (
+            '__all__ = ["shrink"]\n'
+            "def shrink(graph, k, p):\n"
+            "    return [v for v in graph if len(graph[v]) >= k]\n"
+        )
+        assert "KP003" in codes(src)
+
+    def test_validator_call_is_clean(self):
+        src = (
+            '__all__ = ["shrink"]\n'
+            "from repro.core.pvalue import check_p\n"
+            "def shrink(graph, k, p):\n"
+            "    check_p(p)\n"
+            "    return graph\n"
+        )
+        assert codes(src) == []
+
+    def test_forwarding_is_clean(self):
+        src = (
+            '__all__ = ["shrink"]\n'
+            "def shrink(graph, k, p):\n"
+            "    return _inner(graph, k, p)\n"
+        )
+        assert codes(src) == []
+
+    def test_unexported_helper_is_not_checked(self):
+        src = (
+            "__all__ = []\n"
+            "def _helper(graph, k, p):\n"
+            "    return graph\n"
+        )
+        assert codes(src) == []
+
+
+# ----------------------------------------------------------------------
+# KP004 — CompactAdjacency snapshot mutation outside graph/compact.py
+# ----------------------------------------------------------------------
+class TestKP004:
+    def test_attribute_assignment_triggers(self):
+        assert codes("snapshot.indptr[0] = 1\n") == ["KP004"]
+
+    def test_mutator_method_call_triggers(self):
+        assert codes("snapshot.indices.append(3)\n") == ["KP004"]
+
+    def test_compact_module_is_exempt(self):
+        source = "self.indices.append(3)\n"
+        assert codes(source, path="src/repro/graph/compact.py") == []
+        assert codes(source) == ["KP004"]
+
+    def test_other_attributes_are_clean(self):
+        assert codes("snapshot.cache = {}\nsnapshot.rows.append(1)\n") == []
+
+
+# ----------------------------------------------------------------------
+# KP005 — __all__ drift
+# ----------------------------------------------------------------------
+class TestKP005:
+    def test_unexported_public_def_triggers(self):
+        src = '__all__ = ["f"]\ndef f():\n    pass\ndef g():\n    pass\n'
+        assert codes(src) == ["KP005"]
+
+    def test_exported_but_undefined_name_triggers(self):
+        assert codes('__all__ = ["ghost"]\n') == ["KP005"]
+
+    def test_private_def_and_assignments_are_clean(self):
+        src = (
+            '__all__ = ["f"]\n'
+            "LIMIT = 10\n"
+            "def f():\n    pass\n"
+            "def _helper():\n    pass\n"
+        )
+        assert codes(src) == []
+
+    def test_module_without_dunder_all_is_skipped(self):
+        assert codes("def anything():\n    pass\n") == []
+
+
+# ----------------------------------------------------------------------
+# KP006 — per-iteration allocation in the peeling hot loops
+# ----------------------------------------------------------------------
+class TestKP006:
+    HOT_PATH = "src/repro/kcore/compute.py"
+
+    def test_set_constructor_in_while_loop_triggers(self):
+        src = "while queue:\n    batch = set()\n"
+        assert codes(src, path=self.HOT_PATH) == ["KP006"]
+
+    def test_comprehension_in_while_loop_triggers(self):
+        src = "while queue:\n    alive = [v for v in queue]\n"
+        assert codes(src, path=self.HOT_PATH) == ["KP006"]
+
+    def test_allocation_before_the_loop_is_clean(self):
+        src = "batch = set()\nwhile queue:\n    batch.add(queue.pop())\n"
+        assert codes(src, path=self.HOT_PATH) == []
+
+    def test_non_hot_modules_are_not_checked(self):
+        src = "while queue:\n    batch = set()\n"
+        assert codes(src, path="src/repro/analysis/report.py") == []
+
+
+# ----------------------------------------------------------------------
+# suppression, parse errors, driver behaviour
+# ----------------------------------------------------------------------
+class TestSuppression:
+    def test_matching_noqa_suppresses(self):
+        assert codes("frac = a / degree  # noqa: KP001 hot loop\n") == []
+
+    def test_wrong_code_does_not_suppress(self):
+        assert codes("frac = a / degree  # noqa: KP002\n") == ["KP001"]
+
+    def test_bare_noqa_suppresses_everything(self):
+        assert codes("frac = pn == a / degree  # noqa\n") == []
+
+    def test_comma_separated_codes(self):
+        assert codes("frac = pn == a / degree  # noqa: KP001,KP002\n") == []
+
+
+def test_syntax_error_reports_kp000():
+    violations = lint_source("def broken(:\n", path="bad.py")
+    assert [v.code for v in violations] == [PARSE_ERROR_CODE]
+
+
+def test_violation_render_format():
+    v = Violation(path="a/b.py", line=3, col=4, code="KP001", message="msg")
+    assert v.render() == "a/b.py:3:4: KP001 msg"
+
+
+def test_rule_catalogue_covers_all_codes():
+    assert set(RULE_CODES) == {f"KP00{i}" for i in range(0, 7)}
+
+
+def test_iter_python_files_rejects_missing_path(tmp_path):
+    with pytest.raises(FileNotFoundError):
+        iter_python_files([str(tmp_path / "nope")])
+
+
+def test_lint_paths_walks_directories(tmp_path):
+    (tmp_path / "ok.py").write_text("x = 1\n")
+    (tmp_path / "bad.py").write_text("frac = a / degree\n")
+    violations = lint_paths([str(tmp_path)])
+    assert [v.code for v in violations] == ["KP001"]
+    assert violations[0].path.endswith("bad.py")
+    assert lint_file(str(tmp_path / "ok.py")) == []
+
+
+def test_run_exit_codes(tmp_path):
+    clean, dirty = tmp_path / "clean.py", tmp_path / "dirty.py"
+    clean.write_text("x = 1\n")
+    dirty.write_text("frac = a / degree\n")
+
+    out = io.StringIO()
+    assert run([str(clean)], out=out) == 0
+    assert "clean: 1 file(s) checked" in out.getvalue()
+
+    out = io.StringIO()
+    assert run([str(dirty)], out=out) == 1
+    assert "KP001" in out.getvalue()
+
+    out = io.StringIO()
+    assert run([str(tmp_path / "missing.py")], out=out) == 2
+
+
+def test_repo_source_tree_is_clean():
+    """The acceptance gate: ``python -m repro lint src`` exits 0."""
+    out = io.StringIO()
+    assert run([REPO_SRC], out=out) == 0, out.getvalue()
+
+
+def test_cli_lint_subcommand(tmp_path):
+    from repro.cli import main
+
+    dirty = tmp_path / "dirty.py"
+    dirty.write_text("frac = a / degree\n")
+    assert main(["lint", REPO_SRC]) == 0
+    assert main(["lint", str(dirty)]) == 1
+    assert main(["lint", "--explain"]) == 0

@@ -1,0 +1,80 @@
+"""Hypothesis cross-check of the float fraction semantics in pvalue.py.
+
+:func:`repro.core.pvalue.fraction_threshold` is defined as the smallest
+integer ``a`` with ``float(a / degree) >= p``.  These properties verify
+that defining comparison directly and pin it against *exact* rational
+arithmetic: the result can only be ``ceil(p * degree)`` computed over
+``Fraction``s, or one below it when float rounding pulls ``(t-1)/degree``
+up to ``p``.  Degrees run to ``2**20``, far beyond anything the test
+graphs exercise but still inside the exactness range (``< 2**26``)
+documented in the pvalue module.
+"""
+
+from __future__ import annotations
+
+import math
+from fractions import Fraction
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.pvalue import as_fraction, fraction_threshold, fraction_value
+
+MAX_DEGREE = 2**20
+
+degree_strategy = st.integers(1, MAX_DEGREE)
+p_strategy = st.one_of(
+    st.floats(0.0, 1.0, allow_nan=False),
+    # Exact grid points a/b stress the boundary case where p is itself a
+    # representable fraction of a small degree.
+    st.builds(
+        lambda a, b: min(a, b) / b,
+        st.integers(0, 64),
+        st.integers(1, 64),
+    ),
+)
+
+
+@given(p_strategy, degree_strategy)
+@settings(max_examples=400, deadline=None)
+def test_threshold_satisfies_its_defining_comparisons(p, degree):
+    a = fraction_threshold(p, degree)
+    assert 0 <= a <= degree
+    # a is large enough ...
+    assert a == 0 or fraction_value(a, degree) >= p
+    # ... and minimal: one less already fails the float comparison.
+    if a > 0:
+        assert fraction_value(a - 1, degree) < p
+
+
+@given(p_strategy, degree_strategy)
+@settings(max_examples=400, deadline=None)
+def test_threshold_agrees_with_exact_rational_arithmetic(p, degree):
+    exact = math.ceil(Fraction(p) * degree) if p > 0.0 else 0
+    a = fraction_threshold(p, degree)
+    # Mathematically, ceil(p * degree) is the smallest a with the *exact*
+    # rational a/degree >= p.  Under the library's float semantics the
+    # answer may be one smaller — when (exact-1)/degree rounds up to p —
+    # but never anything else.
+    assert a in (exact - 1, exact)
+    if a == exact - 1:
+        assert fraction_value(exact - 1, degree) >= p
+        assert Fraction(exact - 1, degree) < Fraction(p)
+    elif exact >= 1 and exact - 1 >= 0:
+        assert fraction_value(exact - 1, degree) < p
+
+
+@given(st.integers(0, MAX_DEGREE), degree_strategy)
+@settings(max_examples=300, deadline=None)
+def test_fraction_value_roundtrips_through_as_fraction(numerator, degree):
+    numerator = min(numerator, degree)
+    value = fraction_value(numerator, degree)
+    recovered = as_fraction(value, degree)
+    assert recovered == Fraction(numerator, degree)
+
+
+@given(p_strategy, degree_strategy)
+@settings(max_examples=200, deadline=None)
+def test_threshold_is_monotone_in_p(p, degree):
+    a = fraction_threshold(p, degree)
+    tighter = min(1.0, p + 1 / 64)
+    assert fraction_threshold(tighter, degree) >= a
