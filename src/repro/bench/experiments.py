@@ -34,7 +34,10 @@ from repro.analysis.engagement import (
     engagement_by_kp_stratum,
     engagement_by_onion_layer,
 )
-from repro.bench.timing import measure
+from repro.bench.timing import Timing, measure
+from repro.obs import names as metric_names
+from repro.obs.instrumentation import collection_active
+from repro.obs.snapshot import MetricsSnapshot
 from repro.datasets import load_all, simulate_checkins, spec
 from repro.datasets.dblp import default_corpus
 
@@ -189,27 +192,80 @@ def fig10_series() -> dict[str, list]:
 # ----------------------------------------------------------------------
 # Figs. 11-12 — computation time
 # ----------------------------------------------------------------------
+def _per_run(snapshot: MetricsSnapshot | None, name: str, repeats: int) -> int:
+    """A counter accumulated over ``repeats`` runs, averaged back to one."""
+    if snapshot is None:
+        return 0
+    return snapshot.counter(name) // max(1, repeats)
+
+
 def _computation_times(
-    graph: Graph, k: int, p: float, index: KPIndex, repeat: int = 3
-) -> tuple[float, float, float]:
-    """Best-of-N times of (kCoreComp, kpCoreComp, kpCoreQuery)."""
+    graph: Graph,
+    k: int,
+    p: float,
+    index: KPIndex,
+    repeat: int = 3,
+    with_metrics: bool = False,
+) -> tuple[Timing, Timing, Timing]:
+    """Best-of-N timings of (kCoreComp, kpCoreComp, kpCoreQuery)."""
     snapshot = CompactAdjacency(graph)
     t_kcore = measure(lambda: k_core_vertices_compact(snapshot, k), repeat)
-    t_kpcore = measure(lambda: kp_core_vertices_compact(snapshot, k, p), repeat)
-    t_query = measure(lambda: index.query(k, p), repeat)
-    return t_kcore.seconds, t_kpcore.seconds, t_query.seconds
+    t_kpcore = measure(
+        lambda: kp_core_vertices_compact(snapshot, k, p),
+        repeat,
+        capture_metrics=with_metrics,
+    )
+    t_query = measure(
+        lambda: index.query(k, p), repeat, capture_metrics=with_metrics
+    )
+    return t_kcore, t_kpcore, t_query
 
 
-def fig11_rows(k: int = DEFAULT_K, p: float = DEFAULT_P) -> Rows:
-    headers = ("dataset", "kCoreComp_s", "kpCoreComp_s", "kpCoreQuery_s", "speedup")
+def fig11_rows(
+    k: int = DEFAULT_K,
+    p: float = DEFAULT_P,
+    with_metrics: bool | None = None,
+) -> Rows:
+    """Fig. 11 timings; ``with_metrics`` appends per-run operation counts
+    (defaults to on whenever an obs collector is active, e.g. REPRO_OBS=1).
+    """
+    if with_metrics is None:
+        with_metrics = collection_active()
+    headers: tuple[str, ...] = (
+        "dataset", "kCoreComp_s", "kpCoreComp_s", "kpCoreQuery_s", "speedup",
+    )
+    if with_metrics:
+        headers += ("kp_peeled", "kp_survivors", "query_touched")
     rows: list[Sequence[object]] = []
     for name, graph in load_all().items():
         index = KPIndex.build(graph)
-        tk, tkp, tq = _computation_times(graph, k, p, index)
-        rows.append(
-            (name, round(tk, 5), round(tkp, 5), round(tq, 6),
-             round(tkp / tq, 1) if tq > 0 else "inf")
+        tk, tkp, tq = _computation_times(
+            graph, k, p, index, with_metrics=with_metrics
         )
+        row: list[object] = [
+            name, round(tk.seconds, 5), round(tkp.seconds, 5),
+            round(tq.seconds, 6),
+            round(tkp.seconds / tq.seconds, 1) if tq.seconds > 0 else "inf",
+        ]
+        if with_metrics:
+            row.extend(
+                (
+                    _per_run(
+                        tkp.metrics, metric_names.KCORE_PEEL_PEELED, tkp.repeats
+                    ),
+                    _per_run(
+                        tkp.metrics,
+                        metric_names.KCORE_PEEL_SURVIVORS,
+                        tkp.repeats,
+                    ),
+                    _per_run(
+                        tq.metrics,
+                        metric_names.INDEX_VERTICES_TOUCHED,
+                        tq.repeats,
+                    ),
+                )
+            )
+        rows.append(tuple(row))
     return headers, rows
 
 
@@ -232,31 +288,63 @@ def fig12_rows(
     rows: list[Sequence[object]] = []
     for k in ks:
         tk, tkp, tq = _computation_times(graph, k, DEFAULT_P, index)
-        rows.append(("vary-k", k, round(tk, 5), round(tkp, 5), round(tq, 6)))
+        rows.append(
+            ("vary-k", k, round(tk.seconds, 5), round(tkp.seconds, 5),
+             round(tq.seconds, 6))
+        )
     for p in ps:
         tk, tkp, tq = _computation_times(graph, DEFAULT_K, p, index)
-        rows.append(("vary-p", p, round(tk, 5), round(tkp, 5), round(tq, 6)))
+        rows.append(
+            ("vary-p", p, round(tk.seconds, 5), round(tkp.seconds, 5),
+             round(tq.seconds, 6))
+        )
     return headers, rows
 
 
 # ----------------------------------------------------------------------
 # Figs. 13-14 — decomposition time and scalability
 # ----------------------------------------------------------------------
-def _decomposition_times(graph: Graph) -> tuple[float, float]:
-    t_core = measure(lambda: core_numbers_compact(CompactAdjacency(graph))).seconds
-    t_kp = measure(lambda: kp_core_decomposition(graph)).seconds
+def _decomposition_times(
+    graph: Graph, with_metrics: bool = False
+) -> tuple[Timing, Timing]:
+    t_core = measure(lambda: core_numbers_compact(CompactAdjacency(graph)))
+    t_kp = measure(
+        lambda: kp_core_decomposition(graph), capture_metrics=with_metrics
+    )
     return t_core, t_kp
 
 
-def fig13_rows() -> Rows:
-    headers = ("dataset", "kcoreDecomp_s", "kpCoreDecomp_s", "slowdown")
+def fig13_rows(with_metrics: bool | None = None) -> Rows:
+    """Fig. 13 timings; ``with_metrics`` appends per-run peel/re-key counts
+    (defaults to on whenever an obs collector is active, e.g. REPRO_OBS=1).
+    """
+    if with_metrics is None:
+        with_metrics = collection_active()
+    headers: tuple[str, ...] = (
+        "dataset", "kcoreDecomp_s", "kpCoreDecomp_s", "slowdown",
+    )
+    if with_metrics:
+        headers += ("peels", "rekeys")
     rows: list[Sequence[object]] = []
     for name, graph in load_all().items():
-        t_core, t_kp = _decomposition_times(graph)
-        rows.append(
-            (name, round(t_core, 4), round(t_kp, 4),
-             round(t_kp / t_core, 1) if t_core > 0 else "inf")
-        )
+        t_core, t_kp = _decomposition_times(graph, with_metrics=with_metrics)
+        row: list[object] = [
+            name, round(t_core.seconds, 4), round(t_kp.seconds, 4),
+            round(t_kp.seconds / t_core.seconds, 1)
+            if t_core.seconds > 0 else "inf",
+        ]
+        if with_metrics:
+            row.extend(
+                (
+                    _per_run(
+                        t_kp.metrics, metric_names.DECOMP_PEELS, t_kp.repeats
+                    ),
+                    _per_run(
+                        t_kp.metrics, metric_names.DECOMP_REKEYS, t_kp.repeats
+                    ),
+                )
+            )
+        rows.append(tuple(row))
     return headers, rows
 
 
@@ -274,7 +362,7 @@ def fig14_rows(dataset: str = "orkut") -> Rows:
             t_core, t_kp = _decomposition_times(sampled)
             rows.append(
                 (mode, ratio, sampled.num_vertices, sampled.num_edges,
-                 round(t_core, 4), round(t_kp, 4))
+                 round(t_core.seconds, 4), round(t_kp.seconds, 4))
             )
     return headers, rows
 
@@ -282,13 +370,23 @@ def fig14_rows(dataset: str = "orkut") -> Rows:
 # ----------------------------------------------------------------------
 # Figs. 15-16 — index maintenance
 # ----------------------------------------------------------------------
+def _merge_counters(totals: dict[str, int], snapshot: MetricsSnapshot | None) -> None:
+    if snapshot is None:
+        return
+    for name, value in snapshot.counters.items():
+        totals[name] = totals.get(name, 0) + value
+
+
 def _maintenance_times(
     graph: Graph,
     batch: int,
     seed: int = 23,
     mode: MaintenanceMode = MaintenanceMode.RANGE,
-) -> tuple[float, float, float]:
-    """(avg insert, avg delete, rebuild) seconds for one graph.
+    with_metrics: bool = False,
+) -> tuple[float, float, float, dict[str, int]]:
+    """(avg insert, avg delete, rebuild) seconds for one graph, plus the
+    obs counters summed over every maintained edge (empty unless
+    ``with_metrics``).
 
     Mirrors the paper's protocol: remove ``batch`` random existing edges,
     insert them back, report per-edge averages, and compare against a full
@@ -300,33 +398,71 @@ def _maintenance_times(
     edges = list(working.edges())
     chosen = rng.sample(edges, min(batch, len(edges)))
 
+    counters: dict[str, int] = {}
     delete_total = 0.0
     for u, v in chosen:
-        delete_total += measure(lambda u=u, v=v: maintainer.delete_edge(u, v)).seconds
+        t = measure(
+            lambda u=u, v=v: maintainer.delete_edge(u, v),
+            capture_metrics=with_metrics,
+        )
+        delete_total += t.seconds
+        _merge_counters(counters, t.metrics)
     insert_total = 0.0
     for u, v in chosen:
-        insert_total += measure(lambda u=u, v=v: maintainer.insert_edge(u, v)).seconds
+        t = measure(
+            lambda u=u, v=v: maintainer.insert_edge(u, v),
+            capture_metrics=with_metrics,
+        )
+        insert_total += t.seconds
+        _merge_counters(counters, t.metrics)
     rebuild = measure(lambda: KPIndex.build(graph)).seconds
     n = max(1, len(chosen))
-    return insert_total / n, delete_total / n, rebuild
+    return insert_total / n, delete_total / n, rebuild, counters
 
 
-def fig15_rows(batch: int = 50) -> Rows:
+def fig15_rows(batch: int = 50, with_metrics: bool | None = None) -> Rows:
     """Per-edge maintenance cost vs from-scratch rebuild (paper Fig. 15).
 
     The paper uses 500 edges on graphs three orders of magnitude bigger;
-    ``batch`` is scaled accordingly but overridable.
+    ``batch`` is scaled accordingly but overridable.  ``with_metrics``
+    appends the theorem-pruning counters summed over the whole batch
+    (defaults to on whenever an obs collector is active, e.g. REPRO_OBS=1).
     """
-    headers = ("dataset", "insert_s", "delete_s", "rebuild_s",
-               "speedup_ins", "speedup_del")
+    if with_metrics is None:
+        with_metrics = collection_active()
+    headers: tuple[str, ...] = (
+        "dataset", "insert_s", "delete_s", "rebuild_s",
+        "speedup_ins", "speedup_del",
+    )
+    if with_metrics:
+        headers += ("thm_skips", "repeeled", "early_stops")
     rows: list[Sequence[object]] = []
     for name, graph in load_all().items():
-        ins, dele, rebuild = _maintenance_times(graph, batch)
-        rows.append(
-            (name, round(ins, 5), round(dele, 5), round(rebuild, 4),
-             round(rebuild / ins, 1) if ins > 0 else "inf",
-             round(rebuild / dele, 1) if dele > 0 else "inf")
+        ins, dele, rebuild, counters = _maintenance_times(
+            graph, batch, with_metrics=with_metrics
         )
+        row: list[object] = [
+            name, round(ins, 5), round(dele, 5), round(rebuild, 4),
+            round(rebuild / ins, 1) if ins > 0 else "inf",
+            round(rebuild / dele, 1) if dele > 0 else "inf",
+        ]
+        if with_metrics:
+            skips = sum(
+                counters.get(c, 0)
+                for c in (
+                    metric_names.MAINT_THM2_SKIPS,
+                    metric_names.MAINT_THM6_SKIPS,
+                    metric_names.MAINT_THM7_SKIPS,
+                )
+            )
+            row.extend(
+                (
+                    skips,
+                    counters.get(metric_names.MAINT_VERTICES_REPEELED, 0),
+                    counters.get(metric_names.MAINT_EARLY_STOPS, 0),
+                )
+            )
+        rows.append(tuple(row))
     return headers, rows
 
 
@@ -340,7 +476,7 @@ def fig16_rows(dataset: str = "orkut", batch: int = 25) -> Rows:
     ):
         for ratio in sample_ratios:
             sampled = sampler(graph, ratio, seed=19)
-            ins, dele, rebuild = _maintenance_times(sampled, batch)
+            ins, dele, rebuild, _ = _maintenance_times(sampled, batch)
             rows.append(
                 (mode, ratio, sampled.num_edges,
                  round(ins, 5), round(dele, 5), round(rebuild, 4))

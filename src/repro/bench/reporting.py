@@ -6,9 +6,18 @@ the outputs share one look and are easy to diff across runs.
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+from typing import TYPE_CHECKING, Iterable, Sequence
 
-__all__ = ["format_table", "print_table", "format_seconds", "banner"]
+if TYPE_CHECKING:  # avoid a module-level cycle: timing imports obs, obs
+    from repro.bench.timing import Timing  # reports through these tables
+
+__all__ = [
+    "format_table",
+    "print_table",
+    "format_seconds",
+    "format_timing",
+    "banner",
+]
 
 
 def format_seconds(seconds: float) -> str:
@@ -18,6 +27,21 @@ def format_seconds(seconds: float) -> str:
     if seconds < 1.0:
         return f"{seconds * 1e3:.2f}ms"
     return f"{seconds:.2f}s"
+
+
+def format_timing(timing: "Timing") -> str:
+    """One-line summary of a :class:`~repro.bench.timing.Timing`.
+
+    Single runs print just the time; repeated runs print best and median
+    with the repeat count, so tables stay honest about what was measured.
+    """
+    best = format_seconds(timing.seconds)
+    if timing.repeats <= 1:
+        return best
+    return (
+        f"{best} (median {format_seconds(timing.median_seconds)}, "
+        f"n={timing.repeats})"
+    )
 
 
 def _cell(value: object) -> str:

@@ -3,8 +3,12 @@
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from statistics import median
 from typing import Callable, TypeVar
+
+from repro.obs.instrumentation import Instrumentation, set_collector
+from repro.obs.snapshot import MetricsSnapshot
 
 __all__ = ["Timer", "Timing", "measure"]
 
@@ -31,26 +35,61 @@ class Timer:
 
 @dataclass(frozen=True)
 class Timing:
-    """Result and wall time of one measured call."""
+    """Result and wall time of one measured call.
+
+    ``seconds`` is the best (minimum) over the repeats, the standard
+    figure for suppressing scheduler noise; ``median_seconds`` is the
+    robust central tendency over the same runs, and ``repeats`` records
+    how many runs both summarize.  ``metrics`` carries the algorithm
+    counters collected across all repeats when the measurement asked for
+    them (see :func:`measure`), else ``None``.
+    """
 
     result: object
     seconds: float
+    median_seconds: float = 0.0
+    repeats: int = 1
+    metrics: MetricsSnapshot | None = field(default=None, compare=False)
 
 
-def measure(fn: Callable[[], T], repeat: int = 1) -> Timing:
-    """Run ``fn`` ``repeat`` times; report the best time and last result.
+def measure(
+    fn: Callable[[], T],
+    repeat: int = 1,
+    capture_metrics: bool = False,
+) -> Timing:
+    """Run ``fn`` ``repeat`` times; report min/median times and last result.
 
-    Best-of-N is the standard way to suppress scheduler noise for
-    single-shot algorithm timings.
+    Best-of-N (``Timing.seconds``) is the standard way to suppress
+    scheduler noise for single-shot algorithm timings; the median is
+    reported alongside so harnesses can show both.
+
+    With ``capture_metrics=True`` a fresh :class:`Instrumentation`
+    collector is installed for the duration of every repeat (replacing —
+    and afterwards restoring — any active collector), and its snapshot is
+    returned in ``Timing.metrics``.  Counters therefore accumulate over
+    all ``repeat`` runs; divide by ``Timing.repeats`` for per-run
+    figures.  The instrumented runs are the timed runs — the collection
+    overhead is part of the reported time, which keeps the timing honest
+    for closures that mutate state and cannot be re-run separately.
     """
     if repeat < 1:
         raise ValueError(f"repeat must be >= 1, got {repeat}")
-    best = float("inf")
-    result: object = None
-    for _ in range(repeat):
-        start = time.perf_counter()
-        result = fn()
-        elapsed = time.perf_counter() - start
-        if elapsed < best:
-            best = elapsed
-    return Timing(result=result, seconds=best)
+    collector = Instrumentation() if capture_metrics else None
+    previous = set_collector(collector) if capture_metrics else None
+    try:
+        times: list[float] = []
+        result: object = None
+        for _ in range(repeat):
+            start = time.perf_counter()
+            result = fn()
+            times.append(time.perf_counter() - start)
+    finally:
+        if capture_metrics:
+            set_collector(previous)
+    return Timing(
+        result=result,
+        seconds=min(times),
+        median_seconds=median(times),
+        repeats=repeat,
+        metrics=collector.snapshot() if collector is not None else None,
+    )

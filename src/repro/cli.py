@@ -10,10 +10,13 @@ Glue for using the library without writing Python:
 * ``dataset NAME [-o F]``   — materialize a synthetic stand-in,
 * ``report EXPERIMENT``     — print one table/figure reproduction
   (``table2``, ``fig6`` … ``fig16``, ``ablation``),
-* ``lint [PATH ...]``       — run the repo's KP001-KP006 AST lint rules,
+* ``profile CMD ...``       — run any other command with metrics
+  collection on and print the obs report afterwards,
+* ``lint [PATH ...]``       — run the repo's KP001-KP007 AST lint rules,
 * ``selfcheck [FILE]``      — run every runtime invariant contract.
 
-All commands print to stdout; file arguments are SNAP-style edge lists.
+All commands print to stdout; file arguments are SNAP-style edge lists,
+or ``builtin:NAME`` to use a synthetic stand-in dataset in place.
 """
 
 from __future__ import annotations
@@ -34,6 +37,12 @@ __all__ = ["main", "build_parser"]
 
 
 def _read_graph(path: str):
+    # ``builtin:NAME`` loads a synthetic stand-in dataset, so commands
+    # (and CI) can run without shipping edge-list files around.
+    if path.startswith("builtin:"):
+        from repro.datasets import load
+
+        return load(path[len("builtin:"):])
     # SNAP files are usually integer-labelled; fall back to string labels
     # only when that assumption is what failed.  Every other parse error
     # (malformed lines, self loops, ...) propagates — retrying with string
@@ -114,6 +123,34 @@ def _cmd_dataset(args: argparse.Namespace) -> int:
         print(f"{meta.name}: n={s.num_vertices} m={s.num_edges} "
               f"davg={s.average_degree:.2f} dmax={s.max_degree}")
     return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from repro.obs import Instrumentation, render_report, set_collector
+
+    rest = list(args.argv)
+    if rest and rest[0] == "--":
+        rest = rest[1:]
+    if not rest:
+        print("error: profile needs a command to run, e.g. "
+              "`repro profile kpcore builtin:facebook -k 4 -p 0.5`",
+              file=sys.stderr)
+        return 2
+    if rest[0] == "profile":
+        print("error: profile cannot wrap itself", file=sys.stderr)
+        return 2
+    collector = Instrumentation()
+    previous = set_collector(collector)
+    try:
+        status = main(rest)
+    finally:
+        set_collector(previous)
+    snapshot = collector.snapshot()
+    print(render_report(snapshot, title=f"profile: {' '.join(rest)}"))
+    if args.json:
+        snapshot.save(args.json)
+        print(f"wrote metrics snapshot to {args.json}")
+    return status
 
 
 def _cmd_lint(args: argparse.Namespace) -> int:
@@ -216,8 +253,26 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_report.set_defaults(func=_cmd_report)
 
+    p_profile = sub.add_parser(
+        "profile",
+        help="run another repro command with metrics collection on",
+        description="Runs the wrapped command with an obs collector "
+        "installed (as if REPRO_OBS=1) and prints the metrics report "
+        "after it finishes.",
+    )
+    p_profile.add_argument(
+        "--json", metavar="FILE",
+        help="also write the metrics snapshot as JSON",
+    )
+    p_profile.add_argument(
+        "argv", nargs=argparse.REMAINDER, metavar="CMD",
+        help="the repro command to profile, e.g. "
+        "`kpcore builtin:facebook -k 4 -p 0.5`",
+    )
+    p_profile.set_defaults(func=_cmd_profile)
+
     p_lint = sub.add_parser(
-        "lint", help="run the repo-specific AST lint rules (KP001-KP006)"
+        "lint", help="run the repo-specific AST lint rules (KP001-KP007)"
     )
     p_lint.add_argument(
         "paths", nargs="*", metavar="PATH",

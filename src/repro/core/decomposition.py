@@ -34,6 +34,8 @@ from repro.errors import ParameterError
 from repro.graph.adjacency import Graph, Vertex
 from repro.graph.compact import CompactAdjacency
 from repro.kcore.decomposition import core_numbers_compact
+from repro.obs import names
+from repro.obs.instrumentation import get_collector, maybe_span
 
 __all__ = [
     "FixedKDecomposition",
@@ -122,6 +124,11 @@ def _peel_fixed_k(
     order: list[int] = []
     p_numbers: list[float] = []
     level = 0.0
+    # Loop-local operation counters (plain int increments, dwarfed by the
+    # heap/dict work per iteration); flushed to the collector once, after
+    # the loop — the KP007-checked pattern.
+    rekeys = 0
+    degree_violations = 0
     while heap:
         f, v = heappop(heap)
         # Exact-double inequality: both sides are correctly-rounded doubles
@@ -142,13 +149,21 @@ def _peel_fixed_k(
             if u not in alive:
                 continue
             deg_s[u] -= 1
-            new_key = (
-                _DEGREE_VIOLATION
-                if deg_s[u] < k
-                else deg_s[u] / global_deg[u]  # noqa: KP001 hot loop
-            )
+            if deg_s[u] < k:
+                new_key = _DEGREE_VIOLATION
+                degree_violations += 1
+            else:
+                new_key = deg_s[u] / global_deg[u]  # noqa: KP001 hot loop
+            rekeys += 1
             key[u] = new_key
             heappush(heap, (new_key, u))
+    obs = get_collector()
+    if obs is not None:
+        obs.inc(names.DECOMP_ROUNDS)
+        obs.add(names.DECOMP_PEELS, len(order))
+        obs.add(names.DECOMP_REKEYS, rekeys)
+        obs.add(names.DECOMP_DEGREE_VIOLATIONS, degree_violations)
+        obs.observe(names.DECOMP_ARRAY_SIZE, len(order))
     return order, p_numbers
 
 
@@ -158,25 +173,31 @@ def kp_core_decomposition(graph: Graph) -> KPDecomposition:
 
     Under ``REPRO_VERIFY=1`` the output is re-checked: arrays sorted in
     deletion order, k-cores nested, p-numbers non-increasing in ``k``.
+    Under ``REPRO_OBS`` the run records per-round peel/re-key counters
+    and a ``kp_decomposition`` span with per-phase children.
     """
-    snapshot = CompactAdjacency(graph)
-    core, _ = core_numbers_compact(snapshot)
-    snapshot.sort_neighbors_by_rank_desc(core)
-    labels = snapshot.labels
-    degeneracy = max(core, default=0)
-    arrays: dict[int, FixedKDecomposition] = {}
-    for k in range(1, degeneracy + 1):
-        order, p_numbers = _peel_fixed_k(snapshot, core, k)
-        arrays[k] = FixedKDecomposition(
-            k=k,
-            order=[labels[v] for v in order],
-            p_numbers=p_numbers,
+    with maybe_span(names.DECOMP_SPAN):
+        snapshot = CompactAdjacency(graph)
+        with maybe_span(names.DECOMP_SPAN_CORE_NUMBERS):
+            core, _ = core_numbers_compact(snapshot)
+        with maybe_span(names.DECOMP_SPAN_SORT):
+            snapshot.sort_neighbors_by_rank_desc(core)
+        labels = snapshot.labels
+        degeneracy = max(core, default=0)
+        arrays: dict[int, FixedKDecomposition] = {}
+        with maybe_span(names.DECOMP_SPAN_PEEL):
+            for k in range(1, degeneracy + 1):
+                order, p_numbers = _peel_fixed_k(snapshot, core, k)
+                arrays[k] = FixedKDecomposition(
+                    k=k,
+                    order=[labels[v] for v in order],
+                    p_numbers=p_numbers,
+                )
+        return KPDecomposition(
+            arrays=arrays,
+            core_numbers={labels[i]: core[i] for i in range(len(labels))},
+            degeneracy=degeneracy,
         )
-    return KPDecomposition(
-        arrays=arrays,
-        core_numbers={labels[i]: core[i] for i in range(len(labels))},
-        degeneracy=degeneracy,
-    )
 
 
 def p_numbers_fixed_k(graph: Graph, k: int) -> dict[Vertex, float]:

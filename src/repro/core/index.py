@@ -23,6 +23,8 @@ from typing import Iterable, KeysView, Mapping, Sequence
 
 from repro.errors import IndexStateError, ParameterError
 from repro.graph.adjacency import Graph, Vertex
+from repro.obs import names
+from repro.obs.instrumentation import get_collector
 from repro.core.decomposition import (
     FixedKDecomposition,
     KPDecomposition,
@@ -93,8 +95,20 @@ class KArray:
         check_p(p)
         j = bisect_left(self.level_values, p)
         if j == len(self.level_values):
-            return []
-        return self.vertices[self.level_starts[j] :]
+            result: list[Vertex] = []
+        else:
+            result = self.vertices[self.level_starts[j] :]
+        obs = get_collector()
+        if obs is not None:
+            # Theorem 1 made countable: touched vertices == answer size,
+            # plus the |P_k| the binary search ran over.
+            obs.inc(names.INDEX_QUERIES)
+            if not result:
+                obs.inc(names.INDEX_EMPTY_QUERIES)
+            obs.add(names.INDEX_VERTICES_TOUCHED, len(result))
+            obs.observe(names.INDEX_ANSWER_SIZE, len(result))
+            obs.observe(names.INDEX_LEVELS_SEARCHED, len(self.level_values))
+        return result
 
     def p_number(self, v: Vertex) -> float:
         """``pn(v, k)``; raises ``KeyError`` if ``v`` is not in this k-core."""
@@ -233,6 +247,11 @@ class KPIndex:
         check_p(p)
         array = self._arrays.get(k)
         if array is None:
+            obs = get_collector()
+            if obs is not None:
+                obs.inc(names.INDEX_QUERIES)
+                obs.inc(names.INDEX_EMPTY_QUERIES)
+                obs.observe(names.INDEX_ANSWER_SIZE, 0)
             return []
         return array.query(p)
 

@@ -21,6 +21,8 @@ from repro.errors import ParameterError
 from repro.graph.adjacency import Graph, Vertex
 from repro.graph.compact import CompactAdjacency
 from repro.kcore.compute import k_core_vertices_compact
+from repro.obs import names
+from repro.obs.instrumentation import get_collector, maybe_span
 from repro.core.pvalue import check_p, fraction_threshold, fraction_value
 
 __all__ = [
@@ -38,18 +40,30 @@ def combined_thresholds(snapshot: CompactAdjacency, k: int, p: float) -> list[in
     if k < 0:
         raise ParameterError(f"degree threshold k must be >= 0, got {k}")
     check_p(p)
-    return [
+    thresholds = [
         max(k, fraction_threshold(p, snapshot.degree(v)))
         for v in range(snapshot.num_vertices)
     ]
+    obs = get_collector()
+    if obs is not None:
+        obs.add(names.KPCORE_THRESHOLDS_TOTAL, len(thresholds))
+        obs.add(
+            names.KPCORE_THRESHOLDS_FRACTION_DOMINANT,
+            sum(1 for t in thresholds if t > k),
+        )
+    return thresholds
 
 
 def kp_core_vertices_compact(
     snapshot: CompactAdjacency, k: int, p: float
 ) -> list[int]:
     """Internal ids of the (k,p)-core of a compact snapshot."""
+    obs = get_collector()
+    if obs is not None:
+        obs.inc(names.KPCORE_CALLS)
     thresholds = combined_thresholds(snapshot, k, p)
-    return k_core_vertices_compact(snapshot, k, thresholds=thresholds)
+    with maybe_span(names.KPCORE_SPAN_PEEL):
+        return k_core_vertices_compact(snapshot, k, thresholds=thresholds)
 
 
 @verify_kp_core
@@ -57,11 +71,15 @@ def kp_core_vertices(graph: Graph, k: int, p: float) -> set[Vertex]:
     """Vertex set of ``C_{k,p}(G)`` (possibly empty).
 
     Under ``REPRO_VERIFY=1`` the result is re-checked against
-    Definition 3 (:func:`satisfies_kp_constraints`).
+    Definition 3 (:func:`satisfies_kp_constraints`).  Under ``REPRO_OBS``
+    the run records peel counters and a ``kpcore`` span with
+    ``snapshot``/``peel`` children.
     """
-    snapshot = CompactAdjacency(graph)
-    survivors = kp_core_vertices_compact(snapshot, k, p)
-    return {snapshot.labels[v] for v in survivors}
+    with maybe_span(names.KPCORE_SPAN):
+        with maybe_span(names.KPCORE_SPAN_SNAPSHOT):
+            snapshot = CompactAdjacency(graph)
+        survivors = kp_core_vertices_compact(snapshot, k, p)
+        return {snapshot.labels[v] for v in survivors}
 
 
 def kp_core(graph: Graph, k: int, p: float) -> Graph:

@@ -44,6 +44,8 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations
 from repro.errors import EdgeNotFoundError, IndexStateError, ParameterError
 from repro.graph.adjacency import Graph, Vertex
 from repro.kcore.maintenance import CoreMaintainer
+from repro.obs import names as metric
+from repro.obs.instrumentation import Instrumentation, get_collector, maybe_span
 from repro.core.bounds import (
     BoundsCache,
     deletion_pair_bound,
@@ -198,7 +200,16 @@ class KPIndexMaintainer:
     # ------------------------------------------------------------------
     @verify_maintainer_update
     def insert_edge(self, u: Vertex, v: Vertex) -> None:
-        """Insert ``(u, v)`` and repair the index."""
+        """Insert ``(u, v)`` and repair the index.
+
+        Under ``REPRO_OBS`` the update records one counter per theorem it
+        fires (Thms. 2-6) plus the ``[p_-, p_+]`` windows it re-peels.
+        """
+        with maybe_span(metric.MAINT_SPAN_INSERT):
+            self._insert_edge_impl(u, v)
+
+    def _insert_edge_impl(self, u: Vertex, v: Vertex) -> None:
+        obs = get_collector()
         cn_old_u = self._cores.core_number_or(u)
         cn_old_v = self._cores.core_number_or(v)
         promoted = self._cores.insert_edge(u, v)  # graph is now G+
@@ -210,9 +221,18 @@ class KPIndexMaintainer:
         small, large = (u, v) if cn_old_u <= cn_old_v else (v, u)
         k_changed = low + 1 if promoted else None
         k_max = max(self._cores.core_number(u), self._cores.core_number(v))
+        if obs is not None:
+            # Theorem 2: every A_k with k > max(cn(u), cn(v)) is provably
+            # untouched — count how many the k-range cut skips outright.
+            obs.add(
+                metric.MAINT_THM2_SKIPS,
+                max(0, self.index.degeneracy - max(k_max, 1)),
+            )
 
         for k in range(2, k_max + 1):
             self.stats.arrays_examined += 1
+            if obs is not None:
+                obs.inc(metric.MAINT_ARRAYS_EXAMINED)
             array = self._ensure_array(k)
             if self.mode is MaintenanceMode.FULL_K:
                 # Promotions only enter the (low+1)-core; other arrays keep
@@ -237,6 +257,9 @@ class KPIndexMaintainer:
                     bounds.p_tilde(u),
                     bounds.p_tilde(v),
                 )
+                if obs is not None:
+                    obs.inc(metric.MAINT_MINOR_CASES)
+                    self._record_window(obs, 0.0, p_plus)
                 self._repeel_and_splice(
                     array, members, 0.0, p_plus, new_members=set(promoted)
                 )
@@ -253,6 +276,10 @@ class KPIndexMaintainer:
                     pn_u,
                     pn_v,
                 )
+                if obs is not None:
+                    obs.inc(metric.MAINT_THM3_WINDOWS)
+                    obs.inc(metric.MAINT_THM4_WINDOWS)
+                    self._record_window(obs, p_minus, p_plus)
                 self._repeel_and_splice(array, None, p_minus, p_plus, set())
             else:
                 # Case 1.2: cn(small) < k <= cn(large); only `large` is in
@@ -262,7 +289,12 @@ class KPIndexMaintainer:
                 p_star = insertion_support_bound(self.graph, core_at_p1, large, p1)
                 if p_star >= p1:  # Theorem 6: A_k provably unchanged
                     self.stats.arrays_skipped_theorem6 += 1
+                    if obs is not None:
+                        obs.inc(metric.MAINT_THM6_SKIPS)
                     continue
+                if obs is not None:
+                    obs.inc(metric.MAINT_THM5_WINDOWS)
+                    self._record_window(obs, p_star, p1)
                 self._repeel_and_splice(array, None, p_star, p1, set())
 
     # ------------------------------------------------------------------
@@ -270,7 +302,16 @@ class KPIndexMaintainer:
     # ------------------------------------------------------------------
     @verify_maintainer_update
     def delete_edge(self, u: Vertex, v: Vertex) -> None:
-        """Delete ``(u, v)`` and repair the index."""
+        """Delete ``(u, v)`` and repair the index.
+
+        Under ``REPRO_OBS`` the update records one counter per theorem it
+        fires (Thms. 7-9) plus the ``[p_-, p_+]`` windows it re-peels.
+        """
+        with maybe_span(metric.MAINT_SPAN_DELETE):
+            self._delete_edge_impl(u, v)
+
+    def _delete_edge_impl(self, u: Vertex, v: Vertex) -> None:
+        obs = get_collector()
         if not self.graph.has_edge(u, v):
             raise EdgeNotFoundError(u, v)
         cn_old_u = self._cores.core_number(u)
@@ -284,9 +325,17 @@ class KPIndexMaintainer:
         large = v if cn_old_v >= cn_old_u else u
         k_changed = low if demoted else None
         k_max = high  # Theorem 7
+        if obs is not None:
+            # Theorem 7: arrays above both old core numbers are untouched.
+            obs.add(
+                metric.MAINT_THM7_SKIPS,
+                max(0, self.index.degeneracy - max(k_max, 1)),
+            )
 
         for k in range(2, k_max + 1):
             self.stats.arrays_examined += 1
+            if obs is not None:
+                obs.inc(metric.MAINT_ARRAYS_EXAMINED)
             array = self._ensure_array(k)
             if self.mode is MaintenanceMode.FULL_K:
                 # Demotions only leave the low-core; other arrays keep
@@ -312,6 +361,9 @@ class KPIndexMaintainer:
                     candidates.append(bounds.p_tilde(u))
                 if v in members:
                     candidates.append(bounds.p_tilde(v))
+                if obs is not None:
+                    obs.inc(metric.MAINT_MINOR_CASES)
+                    self._record_window(obs, 0.0, max(candidates))
                 self._repeel_and_splice(
                     array, members, 0.0, max(candidates), set()
                 )
@@ -329,6 +381,10 @@ class KPIndexMaintainer:
                 # C_{k,p0}(G) must avoid the removed edge.
                 bounds = BoundsCache(self.graph, array.members_view())
                 p_plus = max(bounds.p_tilde(u), bounds.p_tilde(v), pn_u, pn_v)
+                if obs is not None:
+                    obs.inc(metric.MAINT_THM8_WINDOWS)
+                    obs.inc(metric.MAINT_THM9_WINDOWS)
+                    self._record_window(obs, p_minus, p_plus)
                 self._repeel_and_splice(array, None, p_minus, p_plus, set())
             else:
                 # Major case, cn(small) < k <= cn(large): only `large` in
@@ -338,6 +394,10 @@ class KPIndexMaintainer:
                 # window is never inverted.
                 bounds = BoundsCache(self.graph, array.members_view())
                 p_plus = max(bounds.p_tilde(large), p_minus)
+                if obs is not None:
+                    obs.inc(metric.MAINT_THM8_WINDOWS)
+                    obs.inc(metric.MAINT_THM9_WINDOWS)
+                    self._record_window(obs, p_minus, p_plus)
                 self._repeel_and_splice(array, None, p_minus, p_plus, set())
 
     # ------------------------------------------------------------------
@@ -370,6 +430,20 @@ class KPIndexMaintainer:
     # ------------------------------------------------------------------
     # internals
     # ------------------------------------------------------------------
+    @staticmethod
+    def _record_window(
+        obs: Instrumentation, p_minus: float, p_plus: float
+    ) -> None:
+        """Record one recomputed ``[p_-, p_+]`` window.
+
+        Widths are recorded unclamped: a negative width in the metrics
+        would expose an inverted window, which the Defs. 5-7 bounds rule
+        out — the pruning-effectiveness tests assert exactly that.
+        """
+        obs.observe(metric.MAINT_WINDOW_P_MINUS, p_minus)
+        obs.observe(metric.MAINT_WINDOW_P_PLUS, p_plus)
+        obs.observe(metric.MAINT_WINDOW_WIDTH, p_plus - p_minus)
+
     def _ensure_array(self, k: int) -> KArray:
         arrays = self.index.arrays()
         array = arrays.get(k)
@@ -426,6 +500,12 @@ class KPIndexMaintainer:
         self.stats.vertices_repeeled += len(result.order)
         if result.stopped_early:
             self.stats.early_stops += 1
+        obs = get_collector()
+        if obs is not None:
+            obs.inc(metric.MAINT_ARRAYS_REPEELED)
+            obs.add(metric.MAINT_VERTICES_REPEELED, len(result.order))
+            if result.stopped_early:
+                obs.inc(metric.MAINT_EARLY_STOPS)
         try:
             array.replace_segment(
                 keep_below=p_minus,
@@ -439,6 +519,8 @@ class KPIndexMaintainer:
             # Defensive fallback: the window was too narrow (should not
             # happen; kept as a safety valve for unanticipated topologies).
             self.stats.fallback_rebuilds += 1
+            if obs is not None:
+                obs.inc(metric.MAINT_FALLBACK_REBUILDS)
             full_members = (
                 array.vertex_set() if members is None else set(members)
             )

@@ -4,9 +4,10 @@ Two layers keep the library's fragile, repo-wide conventions honest as
 new backends of the O(m) peeling kernel appear:
 
 * :mod:`repro.devtools.lint` — a custom AST lint pass with rules
-  KP001-KP006 (exact-double fraction discipline, parameter validation,
-  snapshot immutability, ``__all__`` hygiene, hot-loop allocations),
-  suppressible per line with ``# noqa: KPxxx``.
+  KP001-KP007 (exact-double fraction discipline, parameter validation,
+  snapshot immutability, ``__all__`` hygiene, hot-loop allocations,
+  hot-loop metric recording), suppressible per line with
+  ``# noqa: KPxxx``.
 * :mod:`repro.devtools.contracts` — opt-in runtime invariant contracts
   (``REPRO_VERIFY=1``) re-checking algorithm outputs against the paper's
   definitions, and :mod:`repro.devtools.selfcheck`, which runs the whole

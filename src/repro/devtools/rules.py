@@ -1,4 +1,4 @@
-"""The repo-specific AST lint rules (KP001-KP006).
+"""The repo-specific AST lint rules (KP001-KP007).
 
 Every rule is a small class with a stable ``code`` and a ``check`` method
 yielding :class:`~repro.devtools.violations.Violation` objects.  The rules
@@ -10,7 +10,9 @@ encode conventions the library's correctness rests on but Python cannot:
 * :class:`~repro.graph.compact.CompactAdjacency` snapshots are immutable
   outside their own module — KP004,
 * ``__all__`` matches reality — KP005,
-* the O(m) peeling loops stay allocation-free per iteration — KP006.
+* the O(m) peeling loops stay allocation-free per iteration — KP006,
+* metric recording in the peeling loops stays off the per-iteration
+  path — KP007.
 
 Rules are heuristic by design (a linter cannot do whole-program dataflow);
 false positives are silenced with ``# noqa: KPxxx`` plus a short
@@ -33,6 +35,7 @@ __all__ = [
     "SnapshotMutationRule",
     "DunderAllDriftRule",
     "HotLoopAllocationRule",
+    "UnguardedMetricRule",
     "ALL_RULES",
     "default_rules",
 ]
@@ -443,6 +446,131 @@ class HotLoopAllocationRule(LintRule):
                     )
 
 
+class UnguardedMetricRule(LintRule):
+    """KP007 — metric recording in the peel loops must stay off the
+    per-iteration path.
+
+    Inside ``while``/``for`` loops of the three O(m) peeling modules:
+
+    * calls to ``get_collector()`` / ``maybe_span()`` are flagged
+      outright — the collector lookup belongs before the loop, the span
+      around it;
+    * metric calls (``obs.inc(...)``, ``collector.observe(...)``, ...)
+      on a collector-like receiver are flagged unless an enclosing
+      ``if obs is not None:`` (or bare ``if obs:``) guard inside the
+      loop makes the disabled cost a single boolean test.
+
+    The supported pattern is loop-local plain-int accumulators flushed
+    to the collector once, after the loop (see
+    ``core/decomposition.py::_peel_fixed_k``).
+    """
+
+    code = "KP007"
+
+    _METRIC_METHODS = frozenset({"inc", "add", "observe", "span", "record"})
+    _HOISTABLE = frozenset({"get_collector", "maybe_span"})
+    _COLLECTOR_NAME = re.compile(r"^(?:obs|collector|metrics|instr(?:umentation)?)$")
+
+    def check(self, tree, path, source_lines):
+        norm = _normalize(path)
+        if not norm.endswith(_HOT_LOOP_SUFFIXES):
+            return
+        seen: set[tuple[int, int]] = set()
+        for loop in ast.walk(tree):
+            if not isinstance(loop, (ast.While, ast.For)):
+                continue
+            for stmt in [*loop.body, *loop.orelse]:
+                yield from self._scan(stmt, False, path, seen)
+
+    def _scan(
+        self,
+        stmt: ast.stmt,
+        guarded: bool,
+        path: str,
+        seen: set[tuple[int, int]],
+    ) -> Iterator[Violation]:
+        if isinstance(stmt, ast.If):
+            yield from self._flag_calls(stmt.test, guarded, path, seen)
+            body_guarded = guarded or self._is_collector_guard(stmt.test)
+            for child in stmt.body:
+                yield from self._scan(child, body_guarded, path, seen)
+            for child in stmt.orelse:
+                yield from self._scan(child, guarded, path, seen)
+        elif isinstance(stmt, (ast.While, ast.For)):
+            header = stmt.test if isinstance(stmt, ast.While) else stmt.iter
+            yield from self._flag_calls(header, guarded, path, seen)
+            for child in [*stmt.body, *stmt.orelse]:
+                yield from self._scan(child, guarded, path, seen)
+        elif isinstance(stmt, ast.With):
+            for item in stmt.items:
+                yield from self._flag_calls(item.context_expr, guarded, path, seen)
+            for child in stmt.body:
+                yield from self._scan(child, guarded, path, seen)
+        elif isinstance(stmt, ast.Try):
+            for child in [*stmt.body, *stmt.orelse, *stmt.finalbody]:
+                yield from self._scan(child, guarded, path, seen)
+            for handler in stmt.handlers:
+                for child in handler.body:
+                    yield from self._scan(child, guarded, path, seen)
+        else:
+            yield from self._flag_calls(stmt, guarded, path, seen)
+
+    def _flag_calls(
+        self,
+        node: ast.AST,
+        guarded: bool,
+        path: str,
+        seen: set[tuple[int, int]],
+    ) -> Iterator[Violation]:
+        for call in ast.walk(node):
+            if not isinstance(call, ast.Call):
+                continue
+            location = (call.lineno, call.col_offset)
+            if location in seen:
+                continue
+            func = call.func
+            if isinstance(func, ast.Name) and func.id in self._HOISTABLE:
+                seen.add(location)
+                yield self._violation(
+                    path,
+                    call,
+                    f"{func.id}() inside a peeling loop; hoist the "
+                    "collector lookup/span out of the O(m) hot loop",
+                )
+            elif (
+                not guarded
+                and isinstance(func, ast.Attribute)
+                and func.attr in self._METRIC_METHODS
+                and isinstance(func.value, ast.Name)
+                and self._COLLECTOR_NAME.match(func.value.id)
+            ):
+                seen.add(location)
+                yield self._violation(
+                    path,
+                    call,
+                    f"unguarded {func.value.id}.{func.attr}() inside a "
+                    "peeling loop; accumulate in a local int and flush "
+                    "after the loop, or guard with `if "
+                    f"{func.value.id} is not None:`",
+                )
+
+    def _is_collector_guard(self, test: ast.expr) -> bool:
+        if isinstance(test, ast.BoolOp) and isinstance(test.op, ast.And):
+            return any(self._is_collector_guard(v) for v in test.values)
+        if isinstance(test, ast.Name):
+            return bool(self._COLLECTOR_NAME.match(test.id))
+        if (
+            isinstance(test, ast.Compare)
+            and len(test.ops) == 1
+            and isinstance(test.ops[0], ast.IsNot)
+            and isinstance(test.left, ast.Name)
+            and isinstance(test.comparators[0], ast.Constant)
+            and test.comparators[0].value is None
+        ):
+            return bool(self._COLLECTOR_NAME.match(test.left.id))
+        return False
+
+
 ALL_RULES: tuple[type[LintRule], ...] = (
     RawFractionRule,
     FloatEqualityRule,
@@ -450,6 +578,7 @@ ALL_RULES: tuple[type[LintRule], ...] = (
     SnapshotMutationRule,
     DunderAllDriftRule,
     HotLoopAllocationRule,
+    UnguardedMetricRule,
 )
 
 

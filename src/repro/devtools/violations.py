@@ -42,6 +42,11 @@ RULE_CODES: dict[str, str] = {
         "set/dict/list construction inside a peeling hot loop "
         "(kcore/compute.py, core/kpcore.py, core/decomposition.py)"
     ),
+    "KP007": (
+        "per-iteration metric recording inside a peeling hot loop: "
+        "get_collector()/maybe_span() must be hoisted, and collector "
+        "calls guarded or accumulated locally and flushed after the loop"
+    ),
 }
 
 

@@ -15,6 +15,8 @@ from typing import Sequence
 from repro.errors import ParameterError
 from repro.graph.adjacency import Graph, Vertex
 from repro.graph.compact import CompactAdjacency
+from repro.obs import names
+from repro.obs.instrumentation import get_collector
 
 __all__ = ["k_core_vertices_compact", "k_core_vertices", "k_core"]
 
@@ -49,6 +51,7 @@ def k_core_vertices_compact(
 
     alive = [True] * n
     queue = deque(v for v in range(n) if degree[v] < need[v])
+    initial_violators = len(queue)
     for v in queue:
         alive[v] = False
     indptr, indices = snapshot.indptr, snapshot.indices
@@ -61,7 +64,24 @@ def k_core_vertices_compact(
                 if degree[u] < need[u]:
                     alive[u] = False
                     queue.append(u)
-    return [v for v in range(n) if alive[v]]
+    survivors = [v for v in range(n) if alive[v]]
+    obs = get_collector()
+    if obs is not None:
+        # Operation counts are *derived* rather than accumulated: every
+        # peeled vertex entered the queue exactly once and had its full
+        # adjacency slice scanned, so the loop itself stays untouched and
+        # disabled collection costs only the cached check above.
+        obs.inc(names.KCORE_PEEL_CALLS)
+        obs.add(names.KCORE_PEEL_PEELED, n - len(survivors))
+        obs.add(names.KCORE_PEEL_SURVIVORS, len(survivors))
+        obs.add(names.KCORE_PEEL_INITIAL_VIOLATORS, initial_violators)
+        obs.add(
+            names.KCORE_PEEL_EDGE_SCANS,
+            sum(
+                indptr[v + 1] - indptr[v] for v in range(n) if not alive[v]
+            ),
+        )
+    return survivors
 
 
 def k_core_vertices(graph: Graph, k: int) -> set[Vertex]:

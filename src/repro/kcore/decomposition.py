@@ -17,6 +17,8 @@ from typing import Mapping, Sequence
 
 from repro.graph.adjacency import Graph, Vertex
 from repro.graph.compact import CompactAdjacency
+from repro.obs import names
+from repro.obs.instrumentation import get_collector
 
 __all__ = [
     "CoreDecomposition",
@@ -74,6 +76,15 @@ def core_numbers_compact(snapshot: CompactAdjacency) -> tuple[list[int], list[in
                     pos[u], pos[w] = pw, pu
                 bin_start[cu] += 1
                 core[u] = cu - 1
+    obs = get_collector()
+    if obs is not None:
+        # `core` started as the degree array and lost one per bucket
+        # demotion, so the move count is derived after the loop: the
+        # O(n + m) peel runs identically with collection on or off.
+        total_degree = indptr[n]
+        obs.inc(names.KCORE_DECOMP_CALLS)
+        obs.add(names.KCORE_DECOMP_EDGE_SCANS, total_degree)
+        obs.add(names.KCORE_DECOMP_BUCKET_MOVES, total_degree - sum(core))
     return core, vert
 
 

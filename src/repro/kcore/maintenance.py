@@ -25,6 +25,8 @@ from typing import Iterable
 from repro.errors import EdgeExistsError, EdgeNotFoundError, SelfLoopError
 from repro.graph.adjacency import Graph, Vertex
 from repro.kcore.decomposition import core_decomposition
+from repro.obs import names
+from repro.obs.instrumentation import get_collector
 
 __all__ = ["CoreMaintainer"]
 
@@ -139,6 +141,10 @@ class CoreMaintainer:
         promoted = subcore - evicted
         for w in promoted:
             core[w] = level + 1
+        obs = get_collector()
+        if obs is not None:
+            obs.observe(names.KCORE_MAINT_SUBCORE_SIZE, len(subcore))
+            obs.add(names.KCORE_MAINT_PROMOTED, len(promoted))
         return promoted
 
     # ------------------------------------------------------------------
@@ -179,6 +185,10 @@ class CoreMaintainer:
                         queue.append(x)
         for w in demoted:
             core[w] = level - 1
+        obs = get_collector()
+        if obs is not None:
+            obs.observe(names.KCORE_MAINT_SUBCORE_SIZE, len(subcore))
+            obs.add(names.KCORE_MAINT_DEMOTED, len(demoted))
         return demoted
 
     # ------------------------------------------------------------------

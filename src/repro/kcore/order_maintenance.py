@@ -39,6 +39,8 @@ from repro.errors import EdgeExistsError, EdgeNotFoundError, SelfLoopError
 from repro.graph.adjacency import Graph, Vertex
 from repro.graph.compact import CompactAdjacency
 from repro.kcore.decomposition import core_decomposition, core_numbers_compact
+from repro.obs import names
+from repro.obs.instrumentation import get_collector
 
 __all__ = ["OrderBasedCoreMaintainer", "is_valid_k_order"]
 
@@ -172,6 +174,10 @@ class OrderBasedCoreMaintainer:
             for k in ks:
                 self._levels.pop(k, None)
             return
+        obs = get_collector()
+        if obs is not None:
+            obs.add(names.KORDER_LEVELS_REBUILT, len(ks))
+            obs.add(names.KORDER_VERTICES_SHIFTED, len(members))
         sub = self.graph.induced_subgraph(members)
         snapshot = CompactAdjacency(sub)
         _, peel = core_numbers_compact(snapshot)
@@ -239,6 +245,9 @@ class OrderBasedCoreMaintainer:
         # algorithm's final step).
         candidates = set(chain)
         self.candidates_evaluated += len(candidates)
+        obs = get_collector()
+        if obs is not None:
+            obs.observe(names.KORDER_CHAIN_LENGTH, len(chain))
         support = {
             w: sum(
                 1

@@ -1,0 +1,63 @@
+"""Observability: counters, histograms, and spans for every hot path.
+
+The paper's efficiency claims rest on internal quantities — peel
+operations per edge (O(m), Algorithm 1), per-``A_k`` skip decisions and
+``[p_-, p_+]`` window widths (Theorems 2-9), output-proportional query
+touches (Theorem 1) — that wall-clock seconds cannot show.  This package
+collects exactly those quantities:
+
+* :mod:`repro.obs.instrumentation` — the collector and the process-wide
+  switch (``REPRO_OBS=1`` or :func:`collecting`),
+* :mod:`repro.obs.names` — the documented metric catalog,
+* :mod:`repro.obs.snapshot` — immutable, JSON-round-trippable exports,
+* :mod:`repro.obs.report` — aligned-table rendering,
+* :mod:`repro.obs.logsink` — structured ``logging`` emission.
+
+Usage::
+
+    from repro.obs import collecting
+    with collecting() as metrics:
+        kp_core_vertices(graph, k=5, p=0.5)
+    print(metrics.snapshot().counters["kcore.peel.edge_scans"])
+
+or from the command line::
+
+    REPRO_OBS=1 python -m repro kpcore graph.txt -k 5 -p 0.5
+    python -m repro profile kpcore graph.txt -k 5 -p 0.5
+
+Disabled collection (the default) costs each instrumented function one
+cached ``None`` check — the peeling loops themselves are never touched;
+see ``docs/observability.md`` for the overhead discipline and the KP007
+lint rule that enforces it.
+"""
+
+from repro.obs.instrumentation import (
+    ENV_VAR,
+    Instrumentation,
+    collecting,
+    collection_active,
+    get_collector,
+    maybe_span,
+    refresh_from_env,
+    set_collector,
+)
+from repro.obs.logsink import log_snapshot, span_logger
+from repro.obs.report import render_report
+from repro.obs.snapshot import HistogramSummary, MetricsSnapshot, SpanSummary
+
+__all__ = [
+    "ENV_VAR",
+    "Instrumentation",
+    "MetricsSnapshot",
+    "HistogramSummary",
+    "SpanSummary",
+    "collecting",
+    "collection_active",
+    "get_collector",
+    "set_collector",
+    "refresh_from_env",
+    "maybe_span",
+    "render_report",
+    "log_snapshot",
+    "span_logger",
+]

@@ -1,0 +1,255 @@
+"""The metric collector and the process-wide collection switch.
+
+Design constraints (mirroring :mod:`repro.devtools.contracts`):
+
+* **Disabled is the default and must stay near free.**  Every hot path
+  fetches the active collector once per call (:func:`get_collector`) and
+  keeps the result in a local — the per-loop cost of disabled collection
+  is that one cached ``None`` check, never a per-iteration branch.  The
+  instrumented kernels derive most counts *after* their loops from state
+  the algorithm already maintains, so the enabled path stays O(m) too.
+* **Enabled via environment or explicitly.**  ``REPRO_OBS=1`` installs a
+  process-wide collector at import time; :func:`collecting` scopes a
+  fresh collector to a ``with`` block (the programmatic equivalent used
+  by ``measure(capture_metrics=True)`` and ``python -m repro profile``).
+
+Three metric kinds:
+
+* **counters** — monotone integers (:meth:`Instrumentation.inc` /
+  :meth:`~Instrumentation.add`),
+* **histograms** — streaming count/total/min/max summaries of observed
+  values (:meth:`~Instrumentation.observe`),
+* **spans** — nested wall-clock sections (:meth:`~Instrumentation.span`);
+  nesting is encoded in the recorded path (``parent/child``).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from contextlib import contextmanager
+from typing import Iterator
+
+from repro.obs.snapshot import HistogramSummary, MetricsSnapshot, SpanSummary
+
+__all__ = [
+    "ENV_VAR",
+    "Instrumentation",
+    "collection_active",
+    "get_collector",
+    "set_collector",
+    "refresh_from_env",
+    "collecting",
+    "maybe_span",
+]
+
+#: Environment variable that switches metric collection on.
+ENV_VAR = "REPRO_OBS"
+
+_TRUTHY = frozenset({"1", "true", "yes", "on"})
+
+
+def _env_active(value: str | None) -> bool:
+    return value is not None and value.strip().lower() in _TRUTHY
+
+
+class Instrumentation:
+    """One registry of counters, histograms, and nested spans.
+
+    Collectors are cheap to create and not thread-safe by design — the
+    library is single-threaded per computation, and a fresh collector per
+    measured region (see :func:`collecting`) keeps attribution simple.
+    """
+
+    __slots__ = ("_counters", "_hists", "_spans", "_span_stack")
+
+    def __init__(self) -> None:
+        self._counters: dict[str, int] = {}
+        # name -> [count, total, min, max]
+        self._hists: dict[str, list[float]] = {}
+        # path -> [count, seconds]
+        self._spans: dict[str, list[float]] = {}
+        self._span_stack: list[str] = []
+
+    # ------------------------------------------------------------------
+    # counters
+    # ------------------------------------------------------------------
+    def inc(self, name: str, n: int = 1) -> None:
+        """Add ``n`` (default 1) to counter ``name``."""
+        counters = self._counters
+        counters[name] = counters.get(name, 0) + n
+
+    #: Alias emphasizing bulk flushes of loop-local accumulators.
+    add = inc
+
+    def counter(self, name: str, default: int = 0) -> int:
+        """Current value of one counter."""
+        return self._counters.get(name, default)
+
+    # ------------------------------------------------------------------
+    # histograms
+    # ------------------------------------------------------------------
+    def observe(self, name: str, value: float) -> None:
+        """Fold ``value`` into histogram ``name``."""
+        hist = self._hists.get(name)
+        if hist is None:
+            self._hists[name] = [1, value, value, value]
+            return
+        hist[0] += 1
+        hist[1] += value
+        if value < hist[2]:
+            hist[2] = value
+        if value > hist[3]:
+            hist[3] = value
+
+    # ------------------------------------------------------------------
+    # spans
+    # ------------------------------------------------------------------
+    @contextmanager
+    def span(self, name: str) -> Iterator[None]:
+        """Measure a wall-clock section; nests via the recorded path."""
+        stack = self._span_stack
+        stack.append(name)
+        path = "/".join(stack)
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            stack.pop()
+            span = self._spans.get(path)
+            if span is None:
+                self._spans[path] = [1, elapsed]
+            else:
+                span[0] += 1
+                span[1] += elapsed
+
+    def span_seconds(self, path: str) -> float:
+        """Total seconds recorded under span ``path`` (0.0 if absent)."""
+        span = self._spans.get(path)
+        return span[1] if span is not None else 0.0
+
+    # ------------------------------------------------------------------
+    # export / lifecycle
+    # ------------------------------------------------------------------
+    def snapshot(self) -> MetricsSnapshot:
+        """Detach an immutable copy of everything collected so far."""
+        return MetricsSnapshot(
+            counters=dict(self._counters),
+            histograms={
+                name: HistogramSummary(
+                    count=int(h[0]), total=h[1], minimum=h[2], maximum=h[3]
+                )
+                for name, h in self._hists.items()
+            },
+            spans={
+                path: SpanSummary(count=int(s[0]), seconds=s[1])
+                for path, s in self._spans.items()
+            },
+        )
+
+    def reset(self) -> None:
+        """Drop every collected metric (open span nesting is preserved)."""
+        self._counters.clear()
+        self._hists.clear()
+        self._spans.clear()
+
+    def __repr__(self) -> str:
+        return (
+            f"Instrumentation(counters={len(self._counters)}, "
+            f"histograms={len(self._hists)}, spans={len(self._spans)})"
+        )
+
+
+# ----------------------------------------------------------------------
+# process-wide collection switch
+# ----------------------------------------------------------------------
+_collector: Instrumentation | None = (
+    Instrumentation() if _env_active(os.environ.get(ENV_VAR)) else None
+)
+
+
+def collection_active() -> bool:
+    """Whether a collector is currently installed."""
+    return _collector is not None
+
+
+def get_collector() -> Instrumentation | None:
+    """The active collector, or ``None`` when collection is off.
+
+    Hot paths call this once per invocation and branch on the cached
+    result — never inside their loops.
+    """
+    return _collector
+
+
+def set_collector(collector: Instrumentation | None) -> Instrumentation | None:
+    """Install (or clear) the process-wide collector; returns the previous
+    one so callers can restore it."""
+    global _collector
+    previous = _collector
+    _collector = collector
+    return previous
+
+
+def refresh_from_env() -> bool:
+    """Re-read :data:`ENV_VAR`; installs/clears the collector accordingly.
+
+    Returns the resulting active state.  An already-installed collector
+    is kept (not replaced) when the environment still says on.
+    """
+    global _collector
+    if _env_active(os.environ.get(ENV_VAR)):
+        if _collector is None:
+            _collector = Instrumentation()
+    else:
+        _collector = None
+    return _collector is not None
+
+
+@contextmanager
+def collecting(
+    collector: Instrumentation | None = None,
+) -> Iterator[Instrumentation]:
+    """Scope a collector to a ``with`` block; restores the previous one.
+
+    >>> from repro.obs import collecting
+    >>> with collecting() as metrics:
+    ...     pass  # run instrumented code
+    >>> metrics.snapshot().is_empty()
+    True
+    """
+    active = collector if collector is not None else Instrumentation()
+    previous = set_collector(active)
+    try:
+        yield active
+    finally:
+        set_collector(previous)
+
+
+class _NullSpan:
+    """Reusable no-op context manager for disabled collection."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, *exc_info: object) -> None:
+        return None
+
+
+_NULL_SPAN = _NullSpan()
+
+
+def maybe_span(name: str):
+    """``collector.span(name)`` when collection is on, else a no-op.
+
+    For wrapper-level sections (snapshot build, full decompositions) —
+    not for use inside peeling loops, where even a no-op ``with`` block
+    per iteration would be measurable.
+    """
+    collector = _collector
+    if collector is None:
+        return _NULL_SPAN
+    return collector.span(name)

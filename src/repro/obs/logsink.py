@@ -1,0 +1,100 @@
+"""Structured :mod:`logging` integration for collected metrics.
+
+Two entry points:
+
+* :func:`log_snapshot` — emit one record per metric to a standard
+  logger, with the metric kind/name/value attached both in the message
+  and as ``extra`` attributes (``metric_kind``, ``metric_name``,
+  ``metric_value``), so structured handlers (JSON formatters, log
+  shippers) can index them without parsing.
+* :func:`span_logger` — a context manager that runs a collector around a
+  block and logs its snapshot on exit; the convenience wrapper behind
+  one-off investigations in a REPL.
+
+The library itself never configures logging: records go to the
+``repro.obs`` logger (or one the caller supplies) and follow whatever
+handlers the application installed.
+"""
+
+from __future__ import annotations
+
+import logging
+from contextlib import contextmanager
+from typing import Iterator
+
+from repro.obs.instrumentation import Instrumentation, collecting
+from repro.obs.snapshot import MetricsSnapshot
+
+__all__ = ["DEFAULT_LOGGER_NAME", "log_snapshot", "span_logger"]
+
+#: Logger that receives metric records unless the caller supplies one.
+DEFAULT_LOGGER_NAME = "repro.obs"
+
+
+def log_snapshot(
+    snapshot: MetricsSnapshot,
+    logger: logging.Logger | None = None,
+    level: int = logging.INFO,
+) -> int:
+    """Emit every metric in ``snapshot`` as one log record each.
+
+    Returns the number of records emitted.  Records carry structured
+    ``extra`` attributes; the human-readable message mirrors them.
+    """
+    log = logger if logger is not None else logging.getLogger(DEFAULT_LOGGER_NAME)
+    emitted = 0
+    for name, value in sorted(snapshot.counters.items()):
+        log.log(
+            level,
+            "counter %s=%d",
+            name,
+            value,
+            extra={
+                "metric_kind": "counter",
+                "metric_name": name,
+                "metric_value": value,
+            },
+        )
+        emitted += 1
+    for name, hist in sorted(snapshot.histograms.items()):
+        log.log(
+            level,
+            "histogram %s count=%d mean=%.6g min=%.6g max=%.6g",
+            name,
+            hist.count,
+            hist.mean,
+            hist.minimum,
+            hist.maximum,
+            extra={
+                "metric_kind": "histogram",
+                "metric_name": name,
+                "metric_value": hist.to_dict(),
+            },
+        )
+        emitted += 1
+    for path, span in sorted(snapshot.spans.items()):
+        log.log(
+            level,
+            "span %s count=%d seconds=%.6f",
+            path,
+            span.count,
+            span.seconds,
+            extra={
+                "metric_kind": "span",
+                "metric_name": path,
+                "metric_value": span.to_dict(),
+            },
+        )
+        emitted += 1
+    return emitted
+
+
+@contextmanager
+def span_logger(
+    logger: logging.Logger | None = None,
+    level: int = logging.INFO,
+) -> Iterator[Instrumentation]:
+    """Collect metrics for the block, then log the snapshot on exit."""
+    with collecting() as metrics:
+        yield metrics
+    log_snapshot(metrics.snapshot(), logger=logger, level=level)

@@ -1,0 +1,172 @@
+"""Canonical metric names recorded by the instrumented hot paths.
+
+One module owns every counter/histogram/span name so the catalog in
+``docs/observability.md``, the tests, and the recording sites cannot
+drift apart.  Names are dotted paths: the first segment is the subsystem
+(``kcore``, ``kpcore``, ``decomp``, ``maintenance``, ``index``,
+``korder``), the rest describes the quantity.
+
+Counters count *operations* (monotone integers), histograms summarize
+*values* (window widths, answer sizes, subcore sizes), and spans measure
+nested wall-clock sections.
+"""
+
+from __future__ import annotations
+
+__all__ = ["COUNTERS", "HISTOGRAMS", "SPANS", "catalog"]
+
+# ----------------------------------------------------------------------
+# k-core peeling (repro.kcore.compute) — Algorithm 1's engine
+# ----------------------------------------------------------------------
+KCORE_PEEL_CALLS = "kcore.peel.calls"
+KCORE_PEEL_PEELED = "kcore.peel.vertices_peeled"
+KCORE_PEEL_SURVIVORS = "kcore.peel.survivors"
+KCORE_PEEL_EDGE_SCANS = "kcore.peel.edge_scans"
+KCORE_PEEL_INITIAL_VIOLATORS = "kcore.peel.initial_violators"
+
+# ----------------------------------------------------------------------
+# core decomposition (repro.kcore.decomposition) — Batagelj–Zaveršnik
+# ----------------------------------------------------------------------
+KCORE_DECOMP_CALLS = "kcore.decomp.calls"
+KCORE_DECOMP_EDGE_SCANS = "kcore.decomp.edge_scans"
+KCORE_DECOMP_BUCKET_MOVES = "kcore.decomp.bucket_moves"
+
+# ----------------------------------------------------------------------
+# (k,p)-core computation (repro.core.kpcore) — Algorithm 1
+# ----------------------------------------------------------------------
+KPCORE_CALLS = "kpcore.calls"
+KPCORE_THRESHOLDS_TOTAL = "kpcore.thresholds.total"
+KPCORE_THRESHOLDS_FRACTION_DOMINANT = "kpcore.thresholds.fraction_dominant"
+KPCORE_SPAN = "kpcore"
+KPCORE_SPAN_SNAPSHOT = "snapshot"
+KPCORE_SPAN_PEEL = "peel"
+
+# ----------------------------------------------------------------------
+# (k,p)-core decomposition (repro.core.decomposition) — Algorithm 2
+# ----------------------------------------------------------------------
+DECOMP_ROUNDS = "decomp.rounds"
+DECOMP_PEELS = "decomp.peels"
+DECOMP_REKEYS = "decomp.threshold_recomputations"
+DECOMP_DEGREE_VIOLATIONS = "decomp.degree_violation_rekeys"
+DECOMP_ARRAY_SIZE = "decomp.array_size"
+DECOMP_SPAN = "kp_decomposition"
+DECOMP_SPAN_CORE_NUMBERS = "core_numbers"
+DECOMP_SPAN_SORT = "sort_neighbors"
+DECOMP_SPAN_PEEL = "peel_all_k"
+
+# ----------------------------------------------------------------------
+# KP-Index maintenance (repro.core.maintenance) — Algorithms 4/5,
+# one counter per theorem that fires
+# ----------------------------------------------------------------------
+MAINT_THM2_SKIPS = "maintenance.thm2.arrays_skipped"
+MAINT_THM3_WINDOWS = "maintenance.thm3.p_minus_bounds"
+MAINT_THM4_WINDOWS = "maintenance.thm4.p_plus_bounds"
+MAINT_THM5_WINDOWS = "maintenance.thm5.support_windows"
+MAINT_THM6_SKIPS = "maintenance.thm6.arrays_skipped"
+MAINT_THM7_SKIPS = "maintenance.thm7.arrays_skipped"
+MAINT_THM8_WINDOWS = "maintenance.thm8.p_minus_bounds"
+MAINT_THM9_WINDOWS = "maintenance.thm9.p_plus_bounds"
+MAINT_MINOR_CASES = "maintenance.minor_cases"
+MAINT_ARRAYS_EXAMINED = "maintenance.arrays_examined"
+MAINT_ARRAYS_REPEELED = "maintenance.arrays_repeeled"
+MAINT_VERTICES_REPEELED = "maintenance.vertices_repeeled"
+MAINT_EARLY_STOPS = "maintenance.early_stops"
+MAINT_FALLBACK_REBUILDS = "maintenance.fallback_rebuilds"
+MAINT_WINDOW_WIDTH = "maintenance.window_width"
+MAINT_WINDOW_P_MINUS = "maintenance.window_p_minus"
+MAINT_WINDOW_P_PLUS = "maintenance.window_p_plus"
+MAINT_SPAN_INSERT = "maintenance.insert_edge"
+MAINT_SPAN_DELETE = "maintenance.delete_edge"
+
+# ----------------------------------------------------------------------
+# KP-Index queries (repro.core.index) — Algorithm 3
+# ----------------------------------------------------------------------
+INDEX_QUERIES = "index.queries"
+INDEX_EMPTY_QUERIES = "index.empty_queries"
+INDEX_VERTICES_TOUCHED = "index.vertices_touched"
+INDEX_ANSWER_SIZE = "index.answer_size"
+INDEX_LEVELS_SEARCHED = "index.levels_searched"
+
+# ----------------------------------------------------------------------
+# incremental core maintenance (repro.kcore.maintenance /
+# repro.kcore.order_maintenance)
+# ----------------------------------------------------------------------
+KCORE_MAINT_SUBCORE_SIZE = "kcore.maint.subcore_size"
+KCORE_MAINT_PROMOTED = "kcore.maint.promoted"
+KCORE_MAINT_DEMOTED = "kcore.maint.demoted"
+KORDER_LEVELS_REBUILT = "korder.levels_rebuilt"
+KORDER_VERTICES_SHIFTED = "korder.vertices_shifted"
+KORDER_CHAIN_LENGTH = "korder.chain_length"
+
+#: name -> one-line description, grouped by kind, for the docs and report
+COUNTERS: dict[str, str] = {
+    KCORE_PEEL_CALLS: "threshold-peel invocations (kCoreComp/kpCoreComp)",
+    KCORE_PEEL_PEELED: "vertices deleted by threshold peeling",
+    KCORE_PEEL_SURVIVORS: "vertices surviving threshold peeling",
+    KCORE_PEEL_EDGE_SCANS: "adjacency entries scanned while peeling (<= 2m)",
+    KCORE_PEEL_INITIAL_VIOLATORS: "vertices below threshold before peeling",
+    KCORE_DECOMP_CALLS: "bucket core-decomposition invocations",
+    KCORE_DECOMP_EDGE_SCANS: "adjacency entries scanned by the bucket peel (= 2m)",
+    KCORE_DECOMP_BUCKET_MOVES: "bucket demotions (= sum deg(v) - cn(v))",
+    KPCORE_CALLS: "kpCore (Algorithm 1) invocations",
+    KPCORE_THRESHOLDS_TOTAL: "combined thresholds computed (Alg. 1 line 1)",
+    KPCORE_THRESHOLDS_FRACTION_DOMINANT: "thresholds where ceil(p*deg) > k",
+    DECOMP_ROUNDS: "fixed-k peels run by Algorithm 2 (one per k)",
+    DECOMP_PEELS: "peel operations across all k (O(d*m) claim)",
+    DECOMP_REKEYS: "fraction re-keys after a neighbour deletion "
+    "(each leaves one stale heap entry behind)",
+    DECOMP_DEGREE_VIOLATIONS: "re-keys with the degree-violation sentinel",
+    MAINT_THM2_SKIPS: "A_k skipped: k above both new core numbers (insert)",
+    MAINT_THM3_WINDOWS: "p_- lower bounds from Theorem 3 (insert, both in k-core)",
+    MAINT_THM4_WINDOWS: "p_+ upper bounds from Theorem 4 (insert, both in k-core)",
+    MAINT_THM5_WINDOWS: "support windows via Theorem 5 (insert, one endpoint)",
+    MAINT_THM6_SKIPS: "A_k skipped: Theorem 6 support bound certifies no change",
+    MAINT_THM7_SKIPS: "A_k skipped: k above both old core numbers (delete)",
+    MAINT_THM8_WINDOWS: "p_- lower bounds from Theorem 8 (delete)",
+    MAINT_THM9_WINDOWS: "p_+ upper bounds from Theorem 9 (delete)",
+    MAINT_MINOR_CASES: "arrays updated through the minor (core-change) case",
+    MAINT_ARRAYS_EXAMINED: "arrays examined across all updates",
+    MAINT_ARRAYS_REPEELED: "arrays actually re-peeled (not skipped)",
+    MAINT_VERTICES_REPEELED: "vertices re-peeled across all arrays",
+    MAINT_EARLY_STOPS: "re-peels stopped early at p_+ (Thms. 4/9)",
+    MAINT_FALLBACK_REBUILDS: "defensive full array rebuilds",
+    INDEX_QUERIES: "KP-Index queries answered (Algorithm 3)",
+    INDEX_EMPTY_QUERIES: "queries whose answer was empty",
+    INDEX_VERTICES_TOUCHED: "vertices returned across all queries",
+    KCORE_MAINT_PROMOTED: "vertices whose core number rose by an insert",
+    KCORE_MAINT_DEMOTED: "vertices whose core number fell by a delete",
+    KORDER_LEVELS_REBUILT: "k-order levels rebuilt after a core change",
+    KORDER_VERTICES_SHIFTED: "vertices re-positioned by k-order rebuilds",
+}
+
+HISTOGRAMS: dict[str, str] = {
+    DECOMP_ARRAY_SIZE: "per-k array size |V_k| built by Algorithm 2",
+    MAINT_WINDOW_WIDTH: "recomputed p-number window widths p_+ - p_-",
+    MAINT_WINDOW_P_MINUS: "window lower ends p_- (Defs. 5-7 bounds)",
+    MAINT_WINDOW_P_PLUS: "window upper ends p_+ (Defs. 5-7 bounds)",
+    INDEX_ANSWER_SIZE: "per-query answer sizes (Theorem 1 output bound)",
+    INDEX_LEVELS_SEARCHED: "|P_k| binary-searched per query",
+    KCORE_MAINT_SUBCORE_SIZE: "subcore sizes walked per core update",
+    KORDER_CHAIN_LENGTH: "forward-walk chain lengths per order insert",
+}
+
+SPANS: dict[str, str] = {
+    KPCORE_SPAN: "one kpCore computation (with snapshot/peel children)",
+    KPCORE_SPAN_SNAPSHOT: "compact adjacency snapshot build",
+    KPCORE_SPAN_PEEL: "threshold peel over the snapshot",
+    DECOMP_SPAN: "one full Algorithm 2 decomposition",
+    DECOMP_SPAN_CORE_NUMBERS: "core numbers of the snapshot",
+    DECOMP_SPAN_SORT: "neighbour sort by descending core number",
+    DECOMP_SPAN_PEEL: "fixed-k peels for every k",
+    MAINT_SPAN_INSERT: "one kpIndexInsert update",
+    MAINT_SPAN_DELETE: "one kpIndexDelete update",
+}
+
+
+def catalog() -> dict[str, dict[str, str]]:
+    """``{kind: {name: description}}`` — the documented metric surface."""
+    return {
+        "counters": dict(COUNTERS),
+        "histograms": dict(HISTOGRAMS),
+        "spans": dict(SPANS),
+    }

@@ -1,0 +1,89 @@
+"""Human-readable rendering of a :class:`~repro.obs.snapshot.MetricsSnapshot`.
+
+One aligned table per metric kind (counters, histograms, spans), in the
+same fixed-width style as the benchmark harness, plus descriptions from
+the :mod:`repro.obs.names` catalog where a name is documented.  The
+renderer works identically on a live snapshot and on one reloaded from
+JSON, which is what lets ``python -m repro profile --json`` round-trip.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.obs.names import COUNTERS, HISTOGRAMS, SPANS
+from repro.obs.snapshot import MetricsSnapshot
+
+__all__ = ["counter_rows", "histogram_rows", "span_rows", "render_report"]
+
+Rows = tuple[Sequence[str], list[Sequence[object]]]
+
+
+def counter_rows(snapshot: MetricsSnapshot) -> Rows:
+    """``(headers, rows)`` for the counter table, sorted by name."""
+    headers = ("counter", "value", "description")
+    rows: list[Sequence[object]] = [
+        (name, value, COUNTERS.get(name, ""))
+        for name, value in sorted(snapshot.counters.items())
+    ]
+    return headers, rows
+
+
+def histogram_rows(snapshot: MetricsSnapshot) -> Rows:
+    """``(headers, rows)`` for the histogram table, sorted by name."""
+    headers = ("histogram", "count", "mean", "min", "max", "description")
+    rows: list[Sequence[object]] = [
+        (
+            name,
+            hist.count,
+            round(hist.mean, 6),
+            round(hist.minimum, 6),
+            round(hist.maximum, 6),
+            HISTOGRAMS.get(name, ""),
+        )
+        for name, hist in sorted(snapshot.histograms.items())
+    ]
+    return headers, rows
+
+
+def span_rows(snapshot: MetricsSnapshot) -> Rows:
+    """``(headers, rows)`` for the span table, in path order.
+
+    Path order keeps a child (``parent/child``) right under its parent;
+    the rendered name indents children by nesting depth.
+    """
+    headers = ("span", "count", "seconds", "description")
+    rows: list[Sequence[object]] = []
+    for path, span in sorted(snapshot.spans.items()):
+        depth = path.count("/")
+        leaf = path.rsplit("/", 1)[-1]
+        rows.append(
+            (
+                "  " * depth + leaf,
+                span.count,
+                round(span.seconds, 6),
+                SPANS.get(leaf, ""),
+            )
+        )
+    return headers, rows
+
+
+def render_report(snapshot: MetricsSnapshot, title: str = "metrics") -> str:
+    """The full report: banner plus one table per non-empty metric kind."""
+    # Imported lazily: repro.bench pulls in the experiment drivers (and
+    # through them the instrumented core modules), so a module-level
+    # import here would be circular.
+    from repro.bench.reporting import banner, format_table
+
+    sections: list[str] = [banner(title).lstrip("\n")]
+    if snapshot.is_empty():
+        sections.append("(no metrics collected)")
+        return "\n".join(sections)
+    for headers, rows in (
+        counter_rows(snapshot),
+        histogram_rows(snapshot),
+        span_rows(snapshot),
+    ):
+        if rows:
+            sections.append(format_table(headers, rows))
+    return "\n\n".join(sections)

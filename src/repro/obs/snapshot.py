@@ -1,0 +1,127 @@
+"""Immutable snapshots of collected metrics, with a JSON round-trip.
+
+A :class:`MetricsSnapshot` is what an :class:`~repro.obs.instrumentation.
+Instrumentation` collector exports: plain dictionaries of counters,
+histogram summaries and span timings, detached from the live collector so
+it can keep accumulating.  Snapshots serialize losslessly to JSON
+(:meth:`MetricsSnapshot.to_dict` / :meth:`MetricsSnapshot.from_dict`) and
+render to tables via :mod:`repro.obs.report`.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import IO, Mapping
+
+__all__ = ["HistogramSummary", "SpanSummary", "MetricsSnapshot"]
+
+
+@dataclass(frozen=True)
+class HistogramSummary:
+    """Streaming summary of one observed value series."""
+
+    count: int
+    total: float
+    minimum: float
+    maximum: float
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "count": self.count,
+            "total": self.total,
+            "min": self.minimum,
+            "max": self.maximum,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "HistogramSummary":
+        return cls(
+            count=int(payload["count"]),
+            total=float(payload["total"]),
+            minimum=float(payload["min"]),
+            maximum=float(payload["max"]),
+        )
+
+
+@dataclass(frozen=True)
+class SpanSummary:
+    """Total wall time and entry count of one span path.
+
+    ``path`` components are joined with ``/``: a span entered while
+    another is open records under ``parent/child``.
+    """
+
+    count: int
+    seconds: float
+
+    def to_dict(self) -> dict:
+        return {"count": self.count, "seconds": self.seconds}
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "SpanSummary":
+        return cls(count=int(payload["count"]), seconds=float(payload["seconds"]))
+
+
+@dataclass(frozen=True)
+class MetricsSnapshot:
+    """Point-in-time export of one collector's metrics."""
+
+    counters: dict[str, int] = field(default_factory=dict)
+    histograms: dict[str, HistogramSummary] = field(default_factory=dict)
+    spans: dict[str, SpanSummary] = field(default_factory=dict)
+
+    def counter(self, name: str, default: int = 0) -> int:
+        """One counter's value (0 for never-incremented counters)."""
+        return self.counters.get(name, default)
+
+    def is_empty(self) -> bool:
+        return not (self.counters or self.histograms or self.spans)
+
+    # ------------------------------------------------------------------
+    # JSON round-trip
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "counters": dict(self.counters),
+            "histograms": {k: h.to_dict() for k, h in self.histograms.items()},
+            "spans": {k: s.to_dict() for k, s in self.spans.items()},
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "MetricsSnapshot":
+        return cls(
+            counters={k: int(v) for k, v in payload.get("counters", {}).items()},
+            histograms={
+                k: HistogramSummary.from_dict(v)
+                for k, v in payload.get("histograms", {}).items()
+            },
+            spans={
+                k: SpanSummary.from_dict(v)
+                for k, v in payload.get("spans", {}).items()
+            },
+        )
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "MetricsSnapshot":
+        return cls.from_dict(json.loads(text))
+
+    def save(self, path_or_file: str | IO[str]) -> None:
+        """Write the snapshot as JSON to a path or open text file."""
+        if hasattr(path_or_file, "write"):
+            path_or_file.write(self.to_json())  # type: ignore[union-attr]
+            return
+        with open(path_or_file, "w", encoding="utf-8") as handle:  # type: ignore[arg-type]
+            handle.write(self.to_json())
+
+    @classmethod
+    def load(cls, path: str) -> "MetricsSnapshot":
+        with open(path, "r", encoding="utf-8") as handle:
+            return cls.from_json(handle.read())

@@ -2,8 +2,15 @@
 
 import pytest
 
-from repro.bench.reporting import banner, format_seconds, format_table, print_table
-from repro.bench.timing import Timer, measure
+from repro.bench.reporting import (
+    banner,
+    format_seconds,
+    format_table,
+    format_timing,
+    print_table,
+)
+from repro.bench.timing import Timer, Timing, measure
+from repro.obs import get_collector, set_collector
 
 
 class TestTiming:
@@ -24,9 +31,48 @@ class TestTiming:
         assert timing.result == 3
         assert timing.seconds >= 0.0
 
+    def test_measure_reports_min_median_and_repeats(self):
+        timing = measure(lambda: sum(range(500)), repeat=5)
+        assert timing.repeats == 5
+        assert timing.seconds <= timing.median_seconds
+        assert timing.median_seconds >= 0.0
+
+    def test_single_run_min_equals_median(self):
+        timing = measure(lambda: None)
+        assert timing.repeats == 1
+        assert timing.seconds == timing.median_seconds
+        assert timing.metrics is None
+
     def test_measure_validates_repeat(self):
         with pytest.raises(ValueError):
             measure(lambda: None, repeat=0)
+
+    def test_capture_metrics_accumulates_over_repeats(self):
+        def fn():
+            collector = get_collector()
+            assert collector is not None
+            collector.inc("test.calls")
+
+        previous = set_collector(None)
+        try:
+            timing = measure(fn, repeat=3, capture_metrics=True)
+            # the scoped collector was uninstalled again
+            assert get_collector() is None
+        finally:
+            set_collector(previous)
+        assert timing.metrics is not None
+        assert timing.metrics.counter("test.calls") == timing.repeats == 3
+
+    def test_capture_metrics_restores_previous_collector(self):
+        from repro.obs import Instrumentation
+
+        mine = Instrumentation()
+        previous = set_collector(mine)
+        try:
+            measure(lambda: None, capture_metrics=True)
+            assert get_collector() is mine
+        finally:
+            set_collector(previous)
 
 
 class TestReporting:
@@ -57,6 +103,15 @@ class TestReporting:
 
     def test_banner(self):
         assert banner("X") == "\n=== X ==="
+
+    def test_format_timing_single_run(self):
+        assert format_timing(Timing(result=None, seconds=2.5)) == "2.50s"
+
+    def test_format_timing_repeated_run(self):
+        text = format_timing(
+            Timing(result=None, seconds=0.002, median_seconds=0.003, repeats=5)
+        )
+        assert text == "2.00ms (median 3.00ms, n=5)"
 
 
 class TestExperimentSmoke:
@@ -114,3 +169,61 @@ class TestExperimentSmoke:
         for label, report in reports:
             assert label.startswith("DBLP-")
             assert len(report.cascade) >= 1
+
+
+class TestMetricColumns:
+    """``with_metrics`` appends counter columns to the timing figures.
+
+    The dataset registry is monkeypatched to one small seeded graph: the
+    point here is the column plumbing, not the full-figure timings the
+    benchmarks cover.
+    """
+
+    @pytest.fixture(autouse=True)
+    def _no_ambient_collector(self):
+        # isolate from a REPRO_OBS=1 environment: the "default follows the
+        # active collector" test needs a known-off starting state
+        previous = set_collector(None)
+        yield
+        set_collector(previous)
+
+    @pytest.fixture
+    def tiny_datasets(self, monkeypatch):
+        from repro.bench import experiments
+        from repro.graph.generators import erdos_renyi_gnm
+
+        tiny = erdos_renyi_gnm(60, 180, seed=2)
+        monkeypatch.setattr(experiments, "load_all", lambda: {"tiny": tiny})
+        return experiments
+
+    def test_fig11_appends_peel_counters(self, tiny_datasets):
+        headers, rows = tiny_datasets.fig11_rows(k=3, p=0.5, with_metrics=True)
+        assert headers[-3:] == ("kp_peeled", "kp_survivors", "query_touched")
+        (row,) = rows
+        peeled, survivors = row[-3], row[-2]
+        assert peeled + survivors == 60
+
+    def test_fig11_without_metrics_keeps_base_columns(self, tiny_datasets):
+        headers, _ = tiny_datasets.fig11_rows(k=3, p=0.5, with_metrics=False)
+        assert headers[-1] == "speedup"
+
+    def test_fig13_appends_decomposition_counters(self, tiny_datasets):
+        headers, rows = tiny_datasets.fig13_rows(with_metrics=True)
+        assert headers[-2:] == ("peels", "rekeys")
+        (row,) = rows
+        assert row[-2] > 0  # every k-core vertex is peeled at least once
+
+    def test_fig15_appends_pruning_counters(self, tiny_datasets):
+        headers, rows = tiny_datasets.fig15_rows(batch=5, with_metrics=True)
+        assert headers[-3:] == ("thm_skips", "repeeled", "early_stops")
+        (row,) = rows
+        assert row[-2] >= 0
+
+    def test_default_follows_active_collector(self, tiny_datasets):
+        from repro.obs import collecting
+
+        headers_off, _ = tiny_datasets.fig13_rows()
+        with collecting():
+            headers_on, _ = tiny_datasets.fig13_rows()
+        assert "peels" not in headers_off
+        assert "peels" in headers_on

@@ -79,6 +79,54 @@ class TestDataset:
         assert "unknown dataset" in capsys.readouterr().err
 
 
+class TestBuiltinGraphs:
+    def test_builtin_prefix_loads_a_dataset(self, capsys):
+        assert main(["stats", "builtin:facebook"]) == 0
+        out = capsys.readouterr().out
+        assert "vertices" in out and "degeneracy" in out
+
+    def test_unknown_builtin_reports_error(self, capsys):
+        assert main(["stats", "builtin:imaginary"]) == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestProfile:
+    ARGS = ["kpcore", "builtin:facebook", "-k", "3", "-p", "0.5"]
+
+    def test_profile_prints_metrics_report(self, capsys):
+        assert main(["profile", *self.ARGS]) == 0
+        out = capsys.readouterr().out
+        assert "profile: kpcore" in out
+        assert "kcore.peel.calls" in out
+        assert "kpcore" in out  # span table
+
+    def test_profile_restores_the_previous_collector(self):
+        from repro.obs import get_collector
+
+        before = get_collector()
+        main(["profile", *self.ARGS])
+        assert get_collector() is before
+
+    def test_profile_json_snapshot_round_trips(self, tmp_path, capsys):
+        from repro.obs import MetricsSnapshot, render_report
+
+        target = str(tmp_path / "metrics.json")
+        assert main(["profile", "--json", target, *self.ARGS]) == 0
+        capsys.readouterr()
+        snapshot = MetricsSnapshot.load(target)
+        assert snapshot.counter("kpcore.calls") == 1
+        # the reloaded snapshot renders through the same reporting table
+        assert "kcore.peel.calls" in render_report(snapshot)
+
+    def test_profile_without_command_errors(self, capsys):
+        assert main(["profile"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_profile_cannot_wrap_itself(self, capsys):
+        assert main(["profile", "profile", "stats", "x"]) == 2
+        assert "error" in capsys.readouterr().err
+
+
 class TestReport:
     def test_table2(self, capsys):
         assert main(["report", "table2"]) == 0

@@ -1,4 +1,4 @@
-"""Trigger / near-miss fixtures for every lint rule KP001-KP006.
+"""Trigger / near-miss fixtures for every lint rule KP001-KP007.
 
 Each rule gets at least one snippet that must fire (with the right code)
 and one nearby snippet that must stay silent, so the heuristics cannot
@@ -172,6 +172,61 @@ class TestKP006:
 
 
 # ----------------------------------------------------------------------
+# KP007 — per-iteration metric recording in the peeling hot loops
+# ----------------------------------------------------------------------
+class TestKP007:
+    HOT_PATH = "src/repro/core/decomposition.py"
+
+    def test_unguarded_metric_call_in_while_loop_triggers(self):
+        src = "while heap:\n    obs.inc('decomp.peels')\n"
+        assert codes(src, path=self.HOT_PATH) == ["KP007"]
+
+    def test_unguarded_observe_in_for_loop_triggers(self):
+        src = "for v in members:\n    collector.observe('x', deg)\n"
+        assert codes(src, path=self.HOT_PATH) == ["KP007"]
+
+    def test_collector_lookup_in_loop_triggers_even_if_guarded(self):
+        src = (
+            "while heap:\n"
+            "    obs = get_collector()\n"
+            "    if obs is not None:\n"
+            "        obs.inc('decomp.peels')\n"
+        )
+        assert codes(src, path=self.HOT_PATH) == ["KP007"]
+
+    def test_maybe_span_in_loop_triggers(self):
+        src = "for k in ks:\n    with maybe_span('peel'):\n        work()\n"
+        assert codes(src, path=self.HOT_PATH) == ["KP007"]
+
+    def test_guarded_metric_call_is_clean(self):
+        src = (
+            "while heap:\n"
+            "    if obs is not None:\n"
+            "        obs.inc('decomp.peels')\n"
+        )
+        assert codes(src, path=self.HOT_PATH) == []
+
+    def test_post_loop_flush_is_clean(self):
+        src = (
+            "rekeys = 0\n"
+            "while heap:\n"
+            "    rekeys += 1\n"
+            "obs = get_collector()\n"
+            "if obs is not None:\n"
+            "    obs.add('decomp.rekeys', rekeys)\n"
+        )
+        assert codes(src, path=self.HOT_PATH) == []
+
+    def test_set_add_is_not_mistaken_for_a_metric(self):
+        src = "while queue:\n    alive.add(queue.pop())\n"
+        assert codes(src, path=self.HOT_PATH) == []
+
+    def test_non_hot_modules_are_not_checked(self):
+        src = "while heap:\n    obs.inc('x')\n"
+        assert codes(src, path="src/repro/core/maintenance.py") == []
+
+
+# ----------------------------------------------------------------------
 # suppression, parse errors, driver behaviour
 # ----------------------------------------------------------------------
 class TestSuppression:
@@ -199,7 +254,7 @@ def test_violation_render_format():
 
 
 def test_rule_catalogue_covers_all_codes():
-    assert set(RULE_CODES) == {f"KP00{i}" for i in range(0, 7)}
+    assert set(RULE_CODES) == {f"KP00{i}" for i in range(0, 8)}
 
 
 def test_iter_python_files_rejects_missing_path(tmp_path):
