@@ -24,12 +24,28 @@ def test_kpcore_decomp_on_edge_samples(benchmark, graphs, ratio):
     )
 
 
+@pytest.mark.parametrize("workers", (1, 4))
+def test_kpcore_decomp_worker_scaling(benchmark, graphs, workers):
+    graph = graphs["orkut"]
+    decomposition = benchmark.pedantic(
+        kp_core_decomposition,
+        args=(graph,),
+        kwargs={"workers": workers},
+        rounds=1,
+        iterations=1,
+    )
+    assert decomposition.degeneracy >= 10
+
+
 def test_report_fig14(benchmark):
-    headers, rows = benchmark.pedantic(fig14_rows, rounds=1, iterations=1)
+    headers, rows = benchmark.pedantic(
+        fig14_rows, kwargs={"workers": (1, 4)}, rounds=1, iterations=1
+    )
     print_table(
         headers, rows, title="Fig. 14: scalability of decomposition (orkut)"
     )
     # both decompositions get monotonically more expensive with sample size
+    # (compare at a fixed worker count)
     for mode in ("vertex", "edge"):
-        times = [row[5] for row in rows if row[0] == mode]
+        times = [row[6] for row in rows if row[0] == mode and row[4] == 1]
         assert times[0] < times[-1]

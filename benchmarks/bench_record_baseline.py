@@ -1,0 +1,103 @@
+"""Record the decomposition performance baseline into ``BENCH_decomp.json``.
+
+Standalone script (not a pytest-benchmark case): it times the full
+Algorithm 2 decomposition on one builtin dataset across every peel engine
+and a worker-count sweep, and writes the committed baseline file that
+future performance PRs compare against.
+
+Run from the repository root::
+
+    PYTHONPATH=src python benchmarks/bench_record_baseline.py
+
+Each configuration reports the min and median of ``--repeat`` runs (min
+for "what the machine can do", median for robustness against noise).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+from typing import Sequence
+
+from repro.bench.timing import measure
+from repro.core.decomposition import kp_core_decomposition
+from repro.core.peel_engines import DEFAULT_ENGINE, available_engines
+from repro.datasets import load
+
+__all__ = ["main", "record_baseline"]
+
+
+def record_baseline(
+    dataset: str = "orkut",
+    repeat: int = 3,
+    worker_counts: Sequence[int] = (1, 4),
+) -> dict[str, object]:
+    """Time every engine (serial) and worker count (default engine)."""
+    graph = load(dataset)
+    entries: list[dict[str, object]] = []
+    for engine in available_engines():
+        timing = measure(
+            lambda: kp_core_decomposition(graph, engine=engine), repeat
+        )
+        entries.append(
+            {
+                "engine": engine,
+                "workers": 1,
+                "min_s": round(timing.seconds, 4),
+                "median_s": round(timing.median_seconds, 4),
+            }
+        )
+    for workers in worker_counts:
+        if workers == 1:
+            continue  # covered by the engine sweep above
+        timing = measure(
+            lambda: kp_core_decomposition(graph, workers=workers), repeat
+        )
+        entries.append(
+            {
+                "engine": DEFAULT_ENGINE,
+                "workers": workers,
+                "min_s": round(timing.seconds, 4),
+                "median_s": round(timing.median_seconds, 4),
+            }
+        )
+    return {
+        "dataset": dataset,
+        "n": graph.num_vertices,
+        "m": graph.num_edges,
+        "repeat": repeat,
+        "python": platform.python_version(),
+        # Worker scaling only pays off when this is > 1; on a single-CPU
+        # machine the workers>1 rows measure pure pool overhead.
+        "cpus": os.cpu_count() or 1,
+        "entries": entries,
+    }
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--dataset", default="orkut")
+    parser.add_argument("--repeat", type=int, default=3)
+    parser.add_argument(
+        "--workers", type=int, nargs="+", default=[1, 4], metavar="N"
+    )
+    parser.add_argument("-o", "--output", default="BENCH_decomp.json")
+    args = parser.parse_args(argv)
+    baseline = record_baseline(args.dataset, args.repeat, args.workers)
+    with open(args.output, "w") as handle:
+        json.dump(baseline, handle, indent=2)
+        handle.write("\n")
+    for entry in baseline["entries"]:
+        print(
+            f"{baseline['dataset']}: engine={entry['engine']} "
+            f"workers={entry['workers']} min={entry['min_s']}s "
+            f"median={entry['median_s']}s"
+        )
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

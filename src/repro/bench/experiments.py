@@ -24,6 +24,7 @@ from repro.graph.views import sample_edges, sample_ratios, sample_vertices
 from repro.kcore.compute import k_core_vertices_compact
 from repro.kcore.decomposition import core_decomposition, core_numbers_compact
 from repro.core.decomposition import kp_core_decomposition
+from repro.core.peel_engines import DEFAULT_ENGINE
 from repro.core.index import KPIndex
 from repro.core.kpcore import kp_core_vertices_compact
 from repro.core.maintenance import KPIndexMaintainer, MaintenanceMode
@@ -305,51 +306,71 @@ def fig12_rows(
 # Figs. 13-14 — decomposition time and scalability
 # ----------------------------------------------------------------------
 def _decomposition_times(
-    graph: Graph, with_metrics: bool = False
+    graph: Graph,
+    with_metrics: bool = False,
+    engine: str = DEFAULT_ENGINE,
+    workers: int = 1,
+    repeat: int = 1,
 ) -> tuple[Timing, Timing]:
-    t_core = measure(lambda: core_numbers_compact(CompactAdjacency(graph)))
+    t_core = measure(
+        lambda: core_numbers_compact(CompactAdjacency(graph)), repeat
+    )
     t_kp = measure(
-        lambda: kp_core_decomposition(graph), capture_metrics=with_metrics
+        lambda: kp_core_decomposition(graph, engine=engine, workers=workers),
+        repeat,
+        capture_metrics=with_metrics,
     )
     return t_core, t_kp
 
 
-def fig13_rows(with_metrics: bool | None = None) -> Rows:
+def fig13_rows(
+    with_metrics: bool | None = None,
+    engines: Sequence[str] = (DEFAULT_ENGINE,),
+) -> Rows:
     """Fig. 13 timings; ``with_metrics`` appends per-run peel/re-key counts
     (defaults to on whenever an obs collector is active, e.g. REPRO_OBS=1).
+    ``engines`` grows the figure a peeling-backend dimension: one row per
+    dataset per engine.
     """
     if with_metrics is None:
         with_metrics = collection_active()
     headers: tuple[str, ...] = (
-        "dataset", "kcoreDecomp_s", "kpCoreDecomp_s", "slowdown",
+        "dataset", "engine", "kcoreDecomp_s", "kpCoreDecomp_s", "slowdown",
     )
     if with_metrics:
         headers += ("peels", "rekeys")
     rows: list[Sequence[object]] = []
     for name, graph in load_all().items():
-        t_core, t_kp = _decomposition_times(graph, with_metrics=with_metrics)
-        row: list[object] = [
-            name, round(t_core.seconds, 4), round(t_kp.seconds, 4),
-            round(t_kp.seconds / t_core.seconds, 1)
-            if t_core.seconds > 0 else "inf",
-        ]
-        if with_metrics:
-            row.extend(
-                (
-                    _per_run(
-                        t_kp.metrics, metric_names.DECOMP_PEELS, t_kp.repeats
-                    ),
-                    _per_run(
-                        t_kp.metrics, metric_names.DECOMP_REKEYS, t_kp.repeats
-                    ),
-                )
+        for engine in engines:
+            t_core, t_kp = _decomposition_times(
+                graph, with_metrics=with_metrics, engine=engine
             )
-        rows.append(tuple(row))
+            row: list[object] = [
+                name, engine, round(t_core.seconds, 4), round(t_kp.seconds, 4),
+                round(t_kp.seconds / t_core.seconds, 1)
+                if t_core.seconds > 0 else "inf",
+            ]
+            if with_metrics:
+                row.extend(
+                    (
+                        _per_run(
+                            t_kp.metrics, metric_names.DECOMP_PEELS, t_kp.repeats
+                        ),
+                        _per_run(
+                            t_kp.metrics, metric_names.DECOMP_REKEYS, t_kp.repeats
+                        ),
+                    )
+                )
+            rows.append(tuple(row))
     return headers, rows
 
 
-def fig14_rows(dataset: str = "orkut") -> Rows:
-    headers = ("sample", "ratio", "vertices", "edges",
+def fig14_rows(
+    dataset: str = "orkut", workers: Sequence[int] = (1,)
+) -> Rows:
+    """Fig. 14 scalability sweep; ``workers`` grows the figure a pool-size
+    dimension: one row per sample per worker count."""
+    headers = ("sample", "ratio", "vertices", "edges", "workers",
                "kcoreDecomp_s", "kpCoreDecomp_s")
     graph = load_all()[dataset]
     rows: list[Sequence[object]] = []
@@ -359,11 +380,13 @@ def fig14_rows(dataset: str = "orkut") -> Rows:
     ):
         for ratio in sample_ratios:
             sampled = sampler(graph, ratio, seed=17)
-            t_core, t_kp = _decomposition_times(sampled)
-            rows.append(
-                (mode, ratio, sampled.num_vertices, sampled.num_edges,
-                 round(t_core.seconds, 4), round(t_kp.seconds, 4))
-            )
+            for n_workers in workers:
+                t_core, t_kp = _decomposition_times(sampled, workers=n_workers)
+                rows.append(
+                    (mode, ratio, sampled.num_vertices, sampled.num_edges,
+                     n_workers,
+                     round(t_core.seconds, 4), round(t_kp.seconds, 4))
+                )
     return headers, rows
 
 

@@ -29,6 +29,7 @@ from repro.errors import ReproError, VertexLabelError
 from repro.graph.io import read_edge_list, write_edge_list
 from repro.graph.metrics import summarize
 from repro.core.decomposition import p_numbers_fixed_k
+from repro.core.peel_engines import DEFAULT_ENGINE, available_engines
 from repro.core.index import KPIndex
 from repro.core.kpcore import kp_core_vertices
 from repro.kcore.decomposition import core_decomposition
@@ -75,11 +76,28 @@ def _cmd_kpcore(args: argparse.Namespace) -> int:
 
 
 def _cmd_decompose(args: argparse.Namespace) -> int:
+    if args.k is not None and args.workers != 1:
+        print("error: --workers applies to the full decomposition; "
+              "it cannot be combined with -k", file=sys.stderr)
+        return 2
     graph = _read_graph(args.file)
-    pn = p_numbers_fixed_k(graph, args.k)
-    print(f"# p-numbers for k={args.k}: {len(pn)} vertices in the k-core")
-    for v, value in sorted(pn.items(), key=lambda item: (item[1], repr(item[0]))):
-        print(f"{v}\t{value:.6f}")
+    if args.k is not None:
+        pn = p_numbers_fixed_k(graph, args.k, engine=args.engine)
+        print(f"# p-numbers for k={args.k}: {len(pn)} vertices in the k-core")
+        for v, value in sorted(pn.items(), key=lambda item: (item[1], repr(item[0]))):
+            print(f"{v}\t{value:.6f}")
+        return 0
+    from repro.core.decomposition import kp_core_decomposition
+
+    decomposition = kp_core_decomposition(
+        graph, engine=args.engine, workers=args.workers
+    )
+    print(f"# decomposition: degeneracy={decomposition.degeneracy}, "
+          f"engine={args.engine}, workers={args.workers}")
+    for k in range(1, decomposition.degeneracy + 1):
+        fixed = decomposition.arrays[k]
+        p_max = max(fixed.p_numbers, default=0.0)
+        print(f"k={k}\t|V_k|={len(fixed)}\tp_max={p_max:.6f}")
     return 0
 
 
@@ -225,9 +243,26 @@ def build_parser() -> argparse.ArgumentParser:
     p_core.add_argument("-p", type=float, required=True)
     p_core.set_defaults(func=_cmd_kpcore)
 
-    p_dec = sub.add_parser("decompose", help="p-numbers for a fixed k")
+    p_dec = sub.add_parser(
+        "decompose",
+        help="p-numbers for a fixed k, or the full decomposition",
+        description="With -k, print the p-number of every k-core vertex. "
+        "Without -k, run the full Algorithm 2 decomposition (optionally "
+        "over a process pool) and print a per-k summary.",
+    )
     p_dec.add_argument("file")
-    p_dec.add_argument("-k", type=int, required=True)
+    p_dec.add_argument(
+        "-k", type=int, default=None,
+        help="fixed degree threshold (omit for the full decomposition)",
+    )
+    p_dec.add_argument(
+        "--engine", choices=available_engines(), default=DEFAULT_ENGINE,
+        help="peeling backend (default: %(default)s)",
+    )
+    p_dec.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="worker processes for the full decomposition (default: 1)",
+    )
     p_dec.set_defaults(func=_cmd_decompose)
 
     p_index = sub.add_parser("index", help="KP-Index operations")

@@ -10,14 +10,15 @@ vertex's p-number.
 
 Implementation notes
 --------------------
-* The round structure is realized with a lazy min-heap keyed by current
-  fraction.  A vertex whose residual degree falls below ``k`` is re-keyed
-  with a sentinel below every fraction so it cascades out within the
-  current round, exactly as the paper's Line 5 requires.  Stale heap
-  entries are recognized because a vertex's key strictly decreases with
-  every update.  This gives O(m_k log n) per ``k`` instead of the paper's
-  O(n)-per-round scan; the output is identical and the constant factor is
-  what pure Python needs.
+* The per-``k`` peel is delegated to a selectable engine
+  (:mod:`repro.core.peel_engines`): the default ``"bucket"`` engine keeps
+  vertices in an array of exact fraction-level buckets for the paper's
+  O(m_k)-per-``k`` bound, while ``"heap"`` is the original lazy min-heap
+  backend kept for cross-checking.  Both emit identical canonical output.
+* The per-``k`` peels after core-number computation are independent, so
+  ``workers=N`` fans them out over a :mod:`multiprocessing` pool
+  (:mod:`repro.core.parallel`), shipping the frozen snapshot once per
+  worker and merging deterministically.
 * Neighbour lists are pre-sorted by descending core number once, so for
   each ``k`` the k-core neighbours of ``v`` are a prefix of its slice
   (:meth:`~repro.graph.compact.CompactAdjacency.rank_prefix_length`).
@@ -25,8 +26,7 @@ Implementation notes
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from heapq import heappush, heappop, heapify
+from dataclasses import dataclass, field
 from typing import Mapping, Sequence
 
 from repro.devtools.contracts import verify_decomposition
@@ -34,8 +34,9 @@ from repro.errors import ParameterError
 from repro.graph.adjacency import Graph, Vertex
 from repro.graph.compact import CompactAdjacency
 from repro.kcore.decomposition import core_numbers_compact
+from repro.core.peel_engines import DEFAULT_ENGINE, get_engine
 from repro.obs import names
-from repro.obs.instrumentation import get_collector, maybe_span
+from repro.obs.instrumentation import maybe_span
 
 __all__ = [
     "FixedKDecomposition",
@@ -43,9 +44,6 @@ __all__ = [
     "kp_core_decomposition",
     "p_numbers_fixed_k",
 ]
-
-#: Heap key marking "degree below k: peel within the current round".
-_DEGREE_VIOLATION = -1.0
 
 
 @dataclass(frozen=True)
@@ -79,103 +77,47 @@ class KPDecomposition:
     arrays: Mapping[int, FixedKDecomposition]
     core_numbers: Mapping[Vertex, int]
     degeneracy: int
+    # Lazily built {k: pn_map} lookup cache; mutating dict contents is
+    # compatible with the frozen dataclass (no attribute rebinding).
+    _pn_maps: dict[int, dict[Vertex, float]] = field(
+        default_factory=dict, init=False, repr=False, compare=False
+    )
 
     def p_number(self, v: Vertex, k: int) -> float:
         """``pn(v, k, G)``; raises ``KeyError`` if ``v`` is not in the k-core."""
         fixed = self.arrays.get(k)
         if fixed is None:
             raise KeyError(f"no {k}-core in this graph (degeneracy {self.degeneracy})")
-        for vertex, pn in zip(fixed.order, fixed.p_numbers):
-            if vertex == v:
-                return pn
-        raise KeyError(f"vertex {v!r} is not in the {k}-core")
-
-
-def _peel_fixed_k(
-    snapshot: CompactAdjacency, core: Sequence[int], k: int
-) -> tuple[list[int], list[float]]:
-    """Peel the k-core at fixed ``k``; return (deletion order, p-numbers).
-
-    ``core`` must be the core numbers of the snapshot and the snapshot's
-    neighbour lists must already be sorted by descending core number.
-    """
-    members = [v for v in range(snapshot.num_vertices) if core[v] >= k]
-    if not members:
-        return [], []
-    indptr, indices = snapshot.indptr, snapshot.indices
-
-    # Residual degree within the k-core, via the sorted-prefix trick.
-    deg_s: dict[int, int] = {}
-    global_deg: dict[int, int] = {}
-    for v in members:
-        deg_s[v] = snapshot.rank_prefix_length(v, k, core)
-        global_deg[v] = indptr[v + 1] - indptr[v]
-
-    # The divisions below are the canonical float-fraction construction of
-    # repro.core.pvalue.fraction_value, inlined because this is the O(m)
-    # hot path; global_deg is always >= 1 for k-core members.
-    heap: list[tuple[float, int]] = [
-        (deg_s[v] / global_deg[v], v) for v in members  # noqa: KP001 hot loop
-    ]
-    heapify(heap)
-    key = {v: deg_s[v] / global_deg[v] for v in members}  # noqa: KP001 hot loop
-
-    alive = set(members)
-    order: list[int] = []
-    p_numbers: list[float] = []
-    level = 0.0
-    # Loop-local operation counters (plain int increments, dwarfed by the
-    # heap/dict work per iteration); flushed to the collector once, after
-    # the loop — the KP007-checked pattern.
-    rekeys = 0
-    degree_violations = 0
-    while heap:
-        f, v = heappop(heap)
-        # Exact-double inequality: both sides are correctly-rounded doubles
-        # of the same rational construction (see repro.core.pvalue).
-        if v not in alive or f != key[v]:  # noqa: KP002 stale-entry test
-            continue  # already deleted, or a stale (higher) entry
-        if f > level:
-            level = f
-        alive.discard(v)
-        order.append(v)
-        p_numbers.append(level)
-        # Only the prefix of v's slice (neighbours inside the k-core) can
-        # still be alive; the slice is sorted by descending core number.
-        for ptr in range(indptr[v], indptr[v + 1]):
-            u = indices[ptr]
-            if core[u] < k:
-                break  # sorted prefix exhausted
-            if u not in alive:
-                continue
-            deg_s[u] -= 1
-            if deg_s[u] < k:
-                new_key = _DEGREE_VIOLATION
-                degree_violations += 1
-            else:
-                new_key = deg_s[u] / global_deg[u]  # noqa: KP001 hot loop
-            rekeys += 1
-            key[u] = new_key
-            heappush(heap, (new_key, u))
-    obs = get_collector()
-    if obs is not None:
-        obs.inc(names.DECOMP_ROUNDS)
-        obs.add(names.DECOMP_PEELS, len(order))
-        obs.add(names.DECOMP_REKEYS, rekeys)
-        obs.add(names.DECOMP_DEGREE_VIOLATIONS, degree_violations)
-        obs.observe(names.DECOMP_ARRAY_SIZE, len(order))
-    return order, p_numbers
+        pn_map = self._pn_maps.get(k)
+        if pn_map is None:
+            pn_map = fixed.pn_map()
+            self._pn_maps[k] = pn_map
+        try:
+            return pn_map[v]
+        except KeyError:
+            raise KeyError(f"vertex {v!r} is not in the {k}-core") from None
 
 
 @verify_decomposition
-def kp_core_decomposition(graph: Graph) -> KPDecomposition:
+def kp_core_decomposition(
+    graph: Graph, *, engine: str = DEFAULT_ENGINE, workers: int = 1
+) -> KPDecomposition:
     """Run Algorithm 2: p-numbers of every vertex for every valid ``k``.
+
+    ``engine`` selects the per-``k`` peeling backend
+    (:func:`repro.core.peel_engines.available_engines`); every engine
+    produces the identical canonical result.  ``workers > 1`` distributes
+    the independent per-``k`` peels over a process pool — output is
+    identical to the serial run for any worker count.
 
     Under ``REPRO_VERIFY=1`` the output is re-checked: arrays sorted in
     deletion order, k-cores nested, p-numbers non-increasing in ``k``.
     Under ``REPRO_OBS`` the run records per-round peel/re-key counters
     and a ``kp_decomposition`` span with per-phase children.
     """
+    peel = get_engine(engine)
+    if workers < 1:
+        raise ParameterError(f"workers must be >= 1, got {workers}")
     with maybe_span(names.DECOMP_SPAN):
         snapshot = CompactAdjacency(graph)
         with maybe_span(names.DECOMP_SPAN_CORE_NUMBERS):
@@ -186,8 +128,18 @@ def kp_core_decomposition(graph: Graph) -> KPDecomposition:
         degeneracy = max(core, default=0)
         arrays: dict[int, FixedKDecomposition] = {}
         with maybe_span(names.DECOMP_SPAN_PEEL):
+            if workers > 1 and degeneracy > 1:
+                from repro.core.parallel import peel_all_k
+
+                peeled = peel_all_k(
+                    snapshot, core, degeneracy, engine=engine, workers=workers
+                )
+            else:
+                peeled = {
+                    k: peel(snapshot, core, k) for k in range(1, degeneracy + 1)
+                }
             for k in range(1, degeneracy + 1):
-                order, p_numbers = _peel_fixed_k(snapshot, core, k)
+                order, p_numbers = peeled[k]
                 arrays[k] = FixedKDecomposition(
                     k=k,
                     order=[labels[v] for v in order],
@@ -200,13 +152,16 @@ def kp_core_decomposition(graph: Graph) -> KPDecomposition:
         )
 
 
-def p_numbers_fixed_k(graph: Graph, k: int) -> dict[Vertex, float]:
+def p_numbers_fixed_k(
+    graph: Graph, k: int, *, engine: str = DEFAULT_ENGINE
+) -> dict[Vertex, float]:
     """p-numbers for one ``k`` only (the inner loop of Algorithm 2)."""
     if k < 1:
         raise ParameterError(f"degree threshold k must be >= 1, got {k}")
+    peel = get_engine(engine)
     snapshot = CompactAdjacency(graph)
     core, _ = core_numbers_compact(snapshot)
     snapshot.sort_neighbors_by_rank_desc(core)
-    order, p_numbers = _peel_fixed_k(snapshot, core, k)
+    order, p_numbers = peel(snapshot, core, k)
     labels = snapshot.labels
     return {labels[v]: pn for v, pn in zip(order, p_numbers)}

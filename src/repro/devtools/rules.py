@@ -48,6 +48,7 @@ _HOT_LOOP_SUFFIXES = (
     "kcore/compute.py",
     "core/kpcore.py",
     "core/decomposition.py",
+    "core/peel_engines.py",
 )
 
 _DEGREE_NAME = re.compile(r"(?:^|_)deg(?:ree)?s?(?:$|_)|^denominator$|^d[uv]$")
@@ -462,7 +463,7 @@ class UnguardedMetricRule(LintRule):
 
     The supported pattern is loop-local plain-int accumulators flushed
     to the collector once, after the loop (see
-    ``core/decomposition.py::_peel_fixed_k``).
+    ``core/peel_engines.py::peel_fixed_k_bucket``).
     """
 
     code = "KP007"

@@ -3,18 +3,22 @@
 The batch algorithms in :mod:`repro.kcore` and :mod:`repro.core` are
 peeling algorithms that touch every edge a small number of times.  Running
 them over Python dict-of-set adjacency is dominated by hashing; this module
-freezes a graph into flat lists (a CSR layout) with vertices renumbered to
-``0..n-1`` so the inner loops become list indexing.
+freezes a graph into flat typed arrays (a CSR layout) with vertices
+renumbered to ``0..n-1`` so the inner loops become array indexing.  The
+:mod:`array` storage also makes the snapshot cheap to pickle — 4 bytes per
+edge endpoint instead of a PyObject pointer per list slot — which is what
+lets :mod:`repro.core.parallel` ship one copy to each worker process.
 
 The snapshot can additionally sort each neighbour list by *descending core
 number*.  Then, for any ``k``, the neighbours of ``v`` inside the k-core
-form a prefix of ``v``'s slice — the (k,p)-core decomposition iterates that
+form a prefix of its slice — the (k,p)-core decomposition iterates that
 prefix directly instead of filtering every neighbour, which is what keeps
 the O(d·m) loop practical in pure Python.
 """
 
 from __future__ import annotations
 
+from array import array
 from typing import Iterator, Sequence
 
 from repro.errors import VertexNotFoundError
@@ -30,9 +34,9 @@ class CompactAdjacency:
     ----------
     indptr:
         ``indptr[i]:indptr[i+1]`` delimits the neighbour slice of vertex
-        ``i`` within :attr:`indices`.
+        ``i`` within :attr:`indices` (``array('l')``).
     indices:
-        Flattened neighbour lists (internal ids).
+        Flattened neighbour lists, internal ids (``array('i')``).
     labels:
         ``labels[i]`` is the original vertex object for internal id ``i``.
     """
@@ -51,10 +55,35 @@ class CompactAdjacency:
             for w in graph.neighbors(v):
                 indices[cursor[i]] = index_of[w]
                 cursor[i] += 1
-        self.indptr: list[int] = indptr
-        self.indices: list[int] = indices
+        self.indptr: array[int] = array("l", indptr)
+        self.indices: array[int] = array("i", indices)
         self.labels: list[Vertex] = order
         self._index_of = index_of
+
+    @classmethod
+    def from_csr(
+        cls,
+        indptr: array[int],
+        indices: array[int],
+        labels: list[Vertex],
+    ) -> CompactAdjacency:
+        """Rebuild a snapshot from its CSR parts (the unpickling path).
+
+        The label-to-id map is re-derived rather than serialized: it is the
+        largest per-object structure in the snapshot and pure function of
+        ``labels``.
+        """
+        self = cls.__new__(cls)
+        self.indptr = indptr
+        self.indices = indices
+        self.labels = labels
+        self._index_of = {v: i for i, v in enumerate(labels)}
+        return self
+
+    def __reduce__(
+        self,
+    ) -> tuple[object, tuple[array[int], array[int], list[Vertex]]]:
+        return _rebuild, (self.indptr, self.indices, self.labels)
 
     # ------------------------------------------------------------------
     @property
@@ -82,7 +111,7 @@ class CompactAdjacency:
         return [indptr[i + 1] - indptr[i] for i in range(self.num_vertices)]
 
     def neighbor_slice(self, i: int) -> Sequence[int]:
-        """Neighbour ids of vertex ``i`` (a list slice; do not mutate)."""
+        """Neighbour ids of vertex ``i`` (an array slice; do not mutate)."""
         return self.indices[self.indptr[i] : self.indptr[i + 1]]
 
     def iter_neighbors(self, i: int) -> Iterator[int]:
@@ -96,16 +125,23 @@ class CompactAdjacency:
         """Sort every neighbour slice by descending ``rank`` value.
 
         Used with core numbers as ranks: afterwards
-        :meth:`core_prefix_length` locates the boundary of ``rank >= k``
+        :meth:`rank_prefix_length` locates the boundary of ``rank >= k``
         prefixes in O(log deg).  Ties are broken by internal id so the
         layout is deterministic.
         """
         indices = self.indices
         indptr = self.indptr
-        for i in range(self.num_vertices):
+        n = self.num_vertices
+        # Composite integer key: ``j - rank[j]*(n+1)`` orders primarily by
+        # descending rank, then ascending id (``j < n+1`` can never flip a
+        # rank difference).  One flat list beats a tuple-building lambda —
+        # the m log d sort then does int comparisons and key lookups only.
+        n1 = n + 1
+        sort_key = [j - rank[j] * n1 for j in range(n)]
+        for i in range(n):
             start, stop = indptr[i], indptr[i + 1]
-            chunk = sorted(indices[start:stop], key=lambda j: (-rank[j], j))
-            indices[start:stop] = chunk
+            chunk = sorted(indices[start:stop], key=sort_key.__getitem__)
+            indices[start:stop] = array("i", chunk)
 
     def rank_prefix_length(self, i: int, k: int, rank: Sequence[int]) -> int:
         """Length of the prefix of ``i``'s slice with ``rank >= k``.
@@ -128,3 +164,10 @@ class CompactAdjacency:
 
     def __repr__(self) -> str:
         return f"CompactAdjacency(n={self.num_vertices}, m={self.num_edges})"
+
+
+def _rebuild(
+    indptr: array[int], indices: array[int], labels: list[Vertex]
+) -> CompactAdjacency:
+    """Module-level unpickling hook for :meth:`CompactAdjacency.__reduce__`."""
+    return CompactAdjacency.from_csr(indptr, indices, labels)

@@ -1,0 +1,105 @@
+"""Tests for the process-parallel decomposition driver."""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.graph.compact import CompactAdjacency
+from repro.graph.generators import erdos_renyi_gnm
+from repro.kcore.decomposition import core_numbers_compact
+from repro.core.decomposition import kp_core_decomposition
+from repro.core.parallel import default_workers, k_core_sizes, peel_all_k
+from repro.core.peel_engines import DEFAULT_ENGINE, get_engine
+
+
+def _assert_same_decomposition(a, b):
+    assert a.degeneracy == b.degeneracy
+    assert dict(a.core_numbers) == dict(b.core_numbers)
+    assert set(a.arrays) == set(b.arrays)
+    for k, fixed in a.arrays.items():
+        other = b.arrays[k]
+        assert tuple(other.order) == tuple(fixed.order), k
+        assert tuple(other.p_numbers) == tuple(fixed.p_numbers), k
+
+
+class TestSnapshotPickling:
+    def test_round_trip_preserves_csr_and_labels(self, figure1_like_graph):
+        snapshot = CompactAdjacency(figure1_like_graph)
+        clone = pickle.loads(pickle.dumps(snapshot))
+        assert clone.indptr == snapshot.indptr
+        assert clone.indices == snapshot.indices
+        assert clone.labels == snapshot.labels
+
+    def test_round_trip_rebuilds_label_index(self, figure1_like_graph):
+        snapshot = CompactAdjacency(figure1_like_graph)
+        clone = pickle.loads(pickle.dumps(snapshot))
+        for v in figure1_like_graph.vertices():
+            assert clone.index_of(v) == snapshot.index_of(v)
+
+    def test_round_trip_preserves_rank_sorting(self):
+        g = erdos_renyi_gnm(40, 160, seed=3)
+        snapshot = CompactAdjacency(g)
+        core, _ = core_numbers_compact(snapshot)
+        snapshot.sort_neighbors_by_rank_desc(core)
+        clone = pickle.loads(pickle.dumps(snapshot))
+        for i in range(snapshot.num_vertices):
+            for k in range(0, max(core, default=0) + 2):
+                assert clone.rank_prefix_length(
+                    i, k, core
+                ) == snapshot.rank_prefix_length(i, k, core)
+
+
+class TestScheduling:
+    def test_k_core_sizes_are_suffix_counts(self):
+        core = [0, 1, 1, 2, 3, 3, 3]
+        assert k_core_sizes(core, 3) == [7, 6, 4, 3]
+
+    def test_default_workers_is_positive(self):
+        assert default_workers() >= 1
+
+
+class TestPeelAllK:
+    def test_matches_serial_engine(self):
+        g = erdos_renyi_gnm(60, 240, seed=11)
+        snapshot = CompactAdjacency(g)
+        core, _ = core_numbers_compact(snapshot)
+        snapshot.sort_neighbors_by_rank_desc(core)
+        degeneracy = max(core, default=0)
+        peel = get_engine(DEFAULT_ENGINE)
+        serial = {k: peel(snapshot, core, k) for k in range(1, degeneracy + 1)}
+        parallel = peel_all_k(
+            snapshot, core, degeneracy, engine=DEFAULT_ENGINE, workers=3
+        )
+        assert parallel == serial
+
+
+class TestWorkersParameter:
+    @pytest.mark.parametrize("engine", ["bucket", "heap"])
+    def test_workers_4_identical_to_workers_1(self, engine):
+        g = erdos_renyi_gnm(70, 320, seed=13)
+        serial = kp_core_decomposition(g, engine=engine, workers=1)
+        parallel = kp_core_decomposition(g, engine=engine, workers=4)
+        _assert_same_decomposition(serial, parallel)
+
+    def test_string_labelled_vertices_survive_the_pool(self):
+        g = erdos_renyi_gnm(25, 90, seed=4)
+        relabelled = type(g)(
+            (f"v{u}", f"v{w}") for u, w in g.edges()
+        )
+        serial = kp_core_decomposition(relabelled, workers=1)
+        parallel = kp_core_decomposition(relabelled, workers=2)
+        _assert_same_decomposition(serial, parallel)
+
+    def test_invalid_workers_rejected(self, triangle):
+        with pytest.raises(ParameterError, match="workers"):
+            kp_core_decomposition(triangle, workers=0)
+
+    def test_p_number_lookup_after_parallel_run(self):
+        g = erdos_renyi_gnm(30, 120, seed=9)
+        decomposition = kp_core_decomposition(g, workers=2)
+        fixed = decomposition.arrays[1]
+        for v, pn in zip(fixed.order, fixed.p_numbers):
+            assert decomposition.p_number(v, 1) == pn

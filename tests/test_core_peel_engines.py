@@ -1,0 +1,164 @@
+"""Equivalence and unit tests for the fixed-k peeling engines.
+
+The contract under test: every engine in :data:`repro.core.peel_engines.
+ENGINES` produces byte-identical ``(order, p_numbers)`` for every graph
+and every ``k`` — including ties at the minimum fraction and
+degree-violation cascades, where naive heap/bucket implementations
+diverge first.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ParameterError
+from repro.graph.adjacency import Graph
+from repro.graph.compact import CompactAdjacency
+from repro.graph.generators import erdos_renyi_gnm
+from repro.kcore.decomposition import core_numbers_compact
+from repro.core.decomposition import kp_core_decomposition
+from repro.core.peel_engines import (
+    DEFAULT_ENGINE,
+    ENGINES,
+    available_engines,
+    get_engine,
+    peel_fixed_k_bucket,
+    peel_fixed_k_heap,
+)
+
+
+def _prepared(graph: Graph):
+    """(snapshot, core numbers) ready for any engine."""
+    snapshot = CompactAdjacency(graph)
+    core, _ = core_numbers_compact(snapshot)
+    snapshot.sort_neighbors_by_rank_desc(core)
+    return snapshot, core
+
+
+def _assert_engines_identical(graph: Graph) -> None:
+    snapshot, core = _prepared(graph)
+    degeneracy = max(core, default=0)
+    for k in range(1, degeneracy + 1):
+        results = {
+            name: engine(snapshot, core, k) for name, engine in ENGINES.items()
+        }
+        reference = results.pop("heap")
+        for name, result in results.items():
+            assert result == reference, (name, k)
+
+
+class TestRegistry:
+    def test_known_engines(self):
+        assert available_engines() == ["bucket", "heap"]
+        assert DEFAULT_ENGINE in ENGINES
+
+    def test_get_engine_resolves(self):
+        assert get_engine("bucket") is peel_fixed_k_bucket
+        assert get_engine("heap") is peel_fixed_k_heap
+
+    def test_get_engine_rejects_unknown(self):
+        with pytest.raises(ParameterError, match="unknown peel engine"):
+            get_engine("quantum")
+
+
+class TestEngineBasics:
+    @pytest.mark.parametrize("name", ["bucket", "heap"])
+    def test_empty_k_core(self, triangle, name):
+        snapshot, core = _prepared(triangle)
+        assert get_engine(name)(snapshot, core, 3) == ([], [])
+
+    @pytest.mark.parametrize("name", ["bucket", "heap"])
+    def test_triangle_all_peel_at_one(self, triangle, name):
+        snapshot, core = _prepared(triangle)
+        order, p_numbers = get_engine(name)(snapshot, core, 2)
+        assert sorted(order) == [0, 1, 2]
+        assert p_numbers == [1.0, 1.0, 1.0]
+
+    @pytest.mark.parametrize("name", ["bucket", "heap"])
+    def test_canonical_order_within_rounds(self, name):
+        # K4 peels in a single round at level 1.0: canonical order is by
+        # internal id regardless of engine-internal tie-breaking.
+        g = Graph([(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)])
+        snapshot, core = _prepared(g)
+        order, p_numbers = get_engine(name)(snapshot, core, 3)
+        assert order == sorted(order)
+        assert len(set(p_numbers)) == 1
+
+
+class TestEngineEquivalence:
+    def test_tie_at_minimum_fraction(self):
+        # Two components whose minimum fractions tie exactly at 1/2:
+        # a K4 whose vertex 0 carries three pendants (3/6 = 0.5) and a K5
+        # whose vertex 10 carries four pendants (4/8 = 0.5).  Both seeds
+        # must start the same round in every engine.
+        edges = [
+            (0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3),
+            (0, 4), (0, 5), (0, 6),
+            (10, 11), (10, 12), (10, 13), (10, 14),
+            (11, 12), (11, 13), (11, 14), (12, 13), (12, 14), (13, 14),
+            (10, 15), (10, 16), (10, 17), (10, 18),
+        ]
+        _assert_engines_identical(Graph(edges))
+
+    def test_degree_violation_cascade(self):
+        # At k=3 the K5's satellites die immediately; deleting the K4-ring
+        # bridge drags vertices below degree 3 mid-round, exercising the
+        # sentinel path where the heap uses -1.0 keys and the bucket engine
+        # must cascade within the round.
+        edges = [
+            (0, 1), (0, 2), (0, 3), (0, 4),
+            (1, 2), (1, 3), (1, 4), (2, 3), (2, 4), (3, 4),
+            (5, 0), (5, 1), (5, 2),
+            (6, 5), (6, 0), (6, 1),
+            (7, 6), (7, 5), (7, 0),
+        ]
+        _assert_engines_identical(Graph(edges))
+
+    def test_inherited_p_number_cascade(self, cascade_graph):
+        _assert_engines_identical(cascade_graph)
+
+    def test_figure1_like(self, figure1_like_graph):
+        _assert_engines_identical(figure1_like_graph)
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_random_graph_sweep(self, random_graph_factory, seed):
+        _assert_engines_identical(random_graph_factory(seed))
+
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_denser_random_graphs(self, seed):
+        _assert_engines_identical(erdos_renyi_gnm(40, 300, seed=seed))
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 11), st.integers(0, 11)).filter(
+                lambda e: e[0] != e[1]
+            ),
+            max_size=40,
+        )
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_property_engines_agree(self, edges):
+        _assert_engines_identical(Graph(edges))
+
+
+class TestDecompositionEngineParameter:
+    def test_engine_selection_end_to_end(self, figure1_like_graph):
+        by_engine = {
+            name: kp_core_decomposition(figure1_like_graph, engine=name)
+            for name in available_engines()
+        }
+        reference = by_engine.pop("heap")
+        for name, decomposition in by_engine.items():
+            assert decomposition.degeneracy == reference.degeneracy
+            for k, fixed in reference.arrays.items():
+                other = decomposition.arrays[k]
+                assert tuple(other.order) == tuple(fixed.order), (name, k)
+                assert tuple(other.p_numbers) == tuple(fixed.p_numbers), (
+                    name,
+                    k,
+                )
+
+    def test_unknown_engine_rejected(self, triangle):
+        with pytest.raises(ParameterError, match="unknown peel engine"):
+            kp_core_decomposition(triangle, engine="quantum")
