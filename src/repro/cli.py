@@ -7,6 +7,10 @@ Glue for using the library without writing Python:
 * ``decompose FILE -k K``   — p-numbers for a fixed k (Algorithm 2),
 * ``index build FILE -o I`` — build and save a KP-Index as JSON,
 * ``index query I -k K -p P`` — answer a query from a saved index,
+* ``index update DIR --stream F`` — maintain a durable index under an
+  edge-update stream (write-ahead journal + periodic checkpoints),
+* ``index recover DIR``         — recover a durable index after a crash
+  and absorb the journal tail into a fresh checkpoint,
 * ``dataset NAME [-o F]``   — materialize a synthetic stand-in,
 * ``report EXPERIMENT``     — print one table/figure reproduction
   (``table2``, ``fig6`` … ``fig16``, ``ablation``),
@@ -102,10 +106,12 @@ def _cmd_decompose(args: argparse.Namespace) -> int:
 
 
 def _cmd_index_build(args: argparse.Namespace) -> int:
+    from repro.graph.fingerprint import graph_fingerprint
+
     graph = _read_graph(args.file)
     index = KPIndex.build(graph)
     index.validate()
-    index.save(args.output)
+    index.save(args.output, fingerprint=graph_fingerprint(graph))
     stats = index.space_stats()
     print(f"wrote {args.output}: d={index.degeneracy}, "
           f"{stats.vertex_entries} vertex entries (2m={stats.two_m})")
@@ -118,6 +124,64 @@ def _cmd_index_query(args: argparse.Namespace) -> int:
     print(f"# ({args.k},{args.p})-core: {len(answer)} vertices")
     for v in answer:
         print(v)
+    return 0
+
+
+def _read_update_stream(path: str, extra_tokens: str):
+    # Probe the label convention the same way _read_graph does: integers
+    # first, strings only when exactly that assumption failed.
+    from repro.service import read_update_stream
+
+    try:
+        return read_update_stream(
+            path, int_vertices=True, extra_tokens=extra_tokens
+        )
+    except VertexLabelError:
+        return read_update_stream(
+            path, int_vertices=False, extra_tokens=extra_tokens
+        )
+
+
+def _print_durable_summary(durable) -> None:
+    index = durable.index
+    stats = index.space_stats()
+    print(f"index: d={index.degeneracy}, {stats.vertex_entries} vertex "
+          f"entries, n={durable.graph.num_vertices} m={durable.graph.num_edges}")
+
+
+def _cmd_index_update(args: argparse.Namespace) -> int:
+    from repro.service import DurableMaintainer
+
+    extra = "ignore" if args.ignore_extra_tokens else "error"
+    updates = _read_update_stream(args.stream, extra)
+    with DurableMaintainer(
+        args.dir,
+        checkpoint_every=args.checkpoint_every,
+        on_error=args.on_error,
+    ) as durable:
+        if durable.recovery is not None and durable.recovery.replayed:
+            print(f"recovered: replayed {durable.recovery.replayed} "
+                  f"journal records "
+                  f"(checkpoint seq {durable.recovery.checkpoint_seq})")
+        report = durable.apply(updates)
+        durable.checkpoint()
+        print(f"applied {report.applied} updates, skipped {report.skipped}, "
+              f"wrote {report.checkpoints + 1} checkpoints")
+        _print_durable_summary(durable)
+    return 0
+
+
+def _cmd_index_recover(args: argparse.Namespace) -> int:
+    from repro.service import DurableMaintainer
+
+    with DurableMaintainer(args.dir, must_exist=True) as durable:
+        recovery = durable.recovery
+        assert recovery is not None  # must_exist guarantees prior state
+        durable.checkpoint()
+        print(f"recovered from checkpoint seq {recovery.checkpoint_seq}: "
+              f"replayed {recovery.replayed} journal records "
+              f"({recovery.skipped} skipped), journal tail absorbed")
+        _print_durable_summary(durable)
     return 0
 
 
@@ -276,6 +340,41 @@ def build_parser() -> argparse.ArgumentParser:
     p_query.add_argument("-k", type=int, required=True)
     p_query.add_argument("-p", type=float, required=True)
     p_query.set_defaults(func=_cmd_index_query)
+    p_update = index_sub.add_parser(
+        "update",
+        help="apply an edge-update stream to a durable index directory",
+        description="Maintains a crash-safe KP-Index in DIR: every update "
+        "is write-ahead journaled, and a checkpoint (graph + fingerprinted "
+        "index snapshot) is written every N applied updates and at the "
+        "end. A fresh DIR starts from the empty graph. Stream lines are "
+        "'+ u v' (insert), '- u v' (delete), or bare 'u v' (insert).",
+    )
+    p_update.add_argument("dir")
+    p_update.add_argument(
+        "--stream", required=True, metavar="FILE",
+        help="edge-update stream file",
+    )
+    p_update.add_argument(
+        "--checkpoint-every", type=int, default=100, metavar="N",
+        help="checkpoint after every N applied updates (default: %(default)s)",
+    )
+    p_update.add_argument(
+        "--on-error", choices=["fail", "skip"], default="fail",
+        help="what to do when an update cannot apply (default: %(default)s)",
+    )
+    p_update.add_argument(
+        "--ignore-extra-tokens", action="store_true",
+        help="drop trailing columns (timestamps/weights) on stream lines",
+    )
+    p_update.set_defaults(func=_cmd_index_update)
+    p_recover = index_sub.add_parser(
+        "recover",
+        help="recover a durable index directory after a crash",
+        description="Loads the last good checkpoint, replays the journal "
+        "tail, and writes a fresh checkpoint absorbing it.",
+    )
+    p_recover.add_argument("dir")
+    p_recover.set_defaults(func=_cmd_index_recover)
 
     p_data = sub.add_parser("dataset", help="materialize a synthetic dataset")
     p_data.add_argument("name")
@@ -336,10 +435,11 @@ def main(argv: Sequence[str] | None = None) -> int:
     args = parser.parse_args(argv)
     try:
         return args.func(args)
-    except ReproError as error:
-        print(f"error: {error}", file=sys.stderr)
-        return 1
-    except FileNotFoundError as error:
+    except (ReproError, OSError) as error:
+        # OSError covers FileNotFoundError plus the rest of the I/O
+        # failure family (PermissionError, IsADirectoryError, ...): all
+        # are user-addressable conditions, not library bugs, so they get
+        # an `error:` line and exit status 1 instead of a traceback.
         print(f"error: {error}", file=sys.stderr)
         return 1
 

@@ -13,16 +13,34 @@ a binary search over ``P_k`` to find the pointer.
 Space is O(m) (Lemma 1): vertex ``u`` appears in exactly ``cn(u)`` arrays,
 and ``Σ cn(u) <= Σ deg(u) = 2m``; :meth:`KPIndex.space_stats` reports the
 concrete numbers so tests can verify the bound.
+
+Persistence uses the **versioned snapshot format v2**: an envelope with
+``format_version``, an optional :class:`~repro.graph.fingerprint.
+GraphFingerprint` of the source graph, and a SHA-256 ``payload_checksum``
+over the canonical JSON of the index payload.  :meth:`KPIndex.save` writes
+atomically (temp file + ``os.replace``), :meth:`KPIndex.load` verifies the
+checksum, migrates legacy v1 dumps (the bare payload, no envelope), runs
+:meth:`KPIndex.validate`, and wraps every corrupt/truncated/foreign-file
+failure in :class:`~repro.errors.IndexPersistenceError`.
 """
 
 from __future__ import annotations
 
+import hashlib
+import json
+import os
+import tempfile
 from bisect import bisect_left
 from dataclasses import dataclass, field
-from typing import Iterable, KeysView, Mapping, Sequence
+from typing import Any, Iterable, KeysView, Mapping, Sequence
 
-from repro.errors import IndexStateError, ParameterError
+from repro.errors import (
+    IndexPersistenceError,
+    IndexStateError,
+    ParameterError,
+)
 from repro.graph.adjacency import Graph, Vertex
+from repro.graph.fingerprint import GraphFingerprint
 from repro.obs import names
 from repro.obs.instrumentation import get_collector
 from repro.core.decomposition import (
@@ -32,7 +50,33 @@ from repro.core.decomposition import (
 )
 from repro.core.pvalue import check_p
 
-__all__ = ["KArray", "KPIndex", "IndexSpaceStats", "build_index"]
+__all__ = [
+    "KArray",
+    "KPIndex",
+    "IndexSpaceStats",
+    "build_index",
+    "SNAPSHOT_FORMAT_VERSION",
+]
+
+#: Current on-disk snapshot format.  v1 was the bare payload dict (no
+#: envelope, no checksum); v1 files still load through the migration path.
+SNAPSHOT_FORMAT_VERSION = 2
+
+
+def _canonical_payload_json(payload: dict) -> str:
+    """Deterministic JSON rendering the payload checksum is computed over.
+
+    ``sort_keys`` plus compact separators make the rendering independent
+    of dict insertion order, and Python's shortest-round-trip float repr
+    makes it stable across a JSON round trip of the same values.
+    """
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def _payload_checksum(payload: dict) -> str:
+    return hashlib.sha256(
+        _canonical_payload_json(payload).encode("utf-8")
+    ).hexdigest()
 
 
 @dataclass
@@ -201,6 +245,9 @@ class KPIndex:
     def __init__(self, arrays: Mapping[int, KArray], num_edges: int) -> None:
         self._arrays: dict[int, KArray] = dict(arrays)
         self._num_edges = num_edges
+        #: Fingerprint of the source graph carried by a v2 snapshot, if
+        #: the index was loaded from (or saved with) one.
+        self.fingerprint: GraphFingerprint | None = None
 
     # ------------------------------------------------------------------
     @classmethod
@@ -318,8 +365,12 @@ class KPIndex:
             )
 
     # ------------------------------------------------------------------
-    def to_dict(self) -> dict:
-        """JSON-serializable form (vertex labels must be JSON-friendly)."""
+    def to_payload(self) -> dict:
+        """The index content alone — the body inside the v2 envelope.
+
+        This is also exactly the legacy v1 on-disk format, which is what
+        makes the migration path in :meth:`from_dict` trivial.
+        """
         return {
             "num_edges": self._num_edges,
             "arrays": {
@@ -328,8 +379,28 @@ class KPIndex:
             },
         }
 
+    def to_dict(self, fingerprint: GraphFingerprint | None = None) -> dict:
+        """Snapshot format v2 (vertex labels must be JSON-friendly).
+
+        The envelope carries ``format_version``, the optional graph
+        ``fingerprint`` (falls back to the one the index already carries),
+        and a SHA-256 ``payload_checksum`` over the canonical payload
+        JSON, verified again by :meth:`from_dict`.
+        """
+        if fingerprint is None:
+            fingerprint = self.fingerprint
+        payload = self.to_payload()
+        document: dict[str, Any] = {
+            "format_version": SNAPSHOT_FORMAT_VERSION,
+            "payload_checksum": _payload_checksum(payload),
+            "payload": payload,
+        }
+        if fingerprint is not None:
+            document["fingerprint"] = fingerprint.to_dict()
+        return document
+
     @classmethod
-    def from_dict(cls, payload: dict) -> "KPIndex":
+    def _from_payload(cls, payload: dict) -> "KPIndex":
         arrays = {
             int(k): KArray(
                 k=int(k),
@@ -340,20 +411,116 @@ class KPIndex:
         }
         return cls(arrays, int(payload["num_edges"]))
 
-    def save(self, path: str) -> None:
-        """Persist the index as JSON (vertex labels must be JSON-friendly)."""
-        import json
+    @classmethod
+    def from_dict(cls, document: dict) -> "KPIndex":
+        """Rebuild an index from :meth:`to_dict` output (v2) or a v1 dump.
 
-        with open(path, "w", encoding="utf-8") as handle:
-            json.dump(self.to_dict(), handle)
+        Raises :class:`~repro.errors.IndexPersistenceError` for anything
+        that is not a well-formed snapshot: unknown ``format_version``,
+        checksum mismatch, missing/mistyped fields, or arrays violating
+        the :class:`KArray` invariants.
+        """
+        try:
+            if not isinstance(document, dict):
+                raise IndexPersistenceError(
+                    f"expected a snapshot object, got {type(document).__name__}"
+                )
+            version = document.get("format_version")
+            if version is None:
+                # v1 migration: the legacy dump *is* the payload.
+                payload = document
+                fingerprint = None
+            else:
+                if version != SNAPSHOT_FORMAT_VERSION:
+                    raise IndexPersistenceError(
+                        f"unsupported snapshot format_version {version!r} "
+                        f"(this build reads v1 and v{SNAPSHOT_FORMAT_VERSION})"
+                    )
+                payload = document["payload"]
+                if not isinstance(payload, dict):
+                    raise IndexPersistenceError("snapshot payload is not an object")
+                expected = document["payload_checksum"]
+                actual = _payload_checksum(payload)
+                if actual != expected:
+                    raise IndexPersistenceError(
+                        f"payload checksum mismatch: stored {expected!r}, "
+                        f"computed {actual!r} — the snapshot is corrupt"
+                    )
+                fingerprint = None
+                if "fingerprint" in document:
+                    fingerprint = GraphFingerprint.from_dict(
+                        document["fingerprint"]
+                    )
+            index = cls._from_payload(payload)
+            index.fingerprint = fingerprint
+            return index
+        except IndexPersistenceError:
+            raise
+        except (KeyError, TypeError, ValueError, IndexStateError) as error:
+            raise IndexPersistenceError(
+                f"malformed index snapshot: {error!r}"
+            ) from error
+
+    def save(
+        self, path: str, fingerprint: GraphFingerprint | None = None
+    ) -> None:
+        """Persist the index as a v2 snapshot, atomically.
+
+        The document is written to a temporary file in the destination
+        directory, fsynced, and moved into place with ``os.replace`` — a
+        crash mid-write can never destroy the previous good snapshot.
+        """
+        document = self.to_dict(fingerprint=fingerprint)
+        directory = os.path.dirname(os.path.abspath(path))
+        fd, tmp_path = tempfile.mkstemp(
+            dir=directory, prefix=os.path.basename(path) + ".", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(document, handle)
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp_path, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_path)
+            except OSError:
+                pass
+            raise
 
     @classmethod
     def load(cls, path: str) -> "KPIndex":
-        """Load an index previously written by :meth:`save`."""
-        import json
+        """Load an index previously written by :meth:`save`.
 
+        Accepts both the current v2 snapshot and legacy v1 dumps.  The
+        loaded index is checksum-verified (v2) and structurally validated
+        (:meth:`validate`); every corruption mode raises
+        :class:`~repro.errors.IndexPersistenceError` rather than leaking a
+        raw ``json``/``KeyError``/``TypeError`` failure.  A missing file
+        still raises ``FileNotFoundError`` (it is an addressing mistake,
+        not a corrupt artifact).
+        """
         with open(path, "r", encoding="utf-8") as handle:
-            return cls.from_dict(json.load(handle))
+            text = handle.read()
+        try:
+            document = json.loads(text)
+        except ValueError as error:
+            raise IndexPersistenceError(
+                f"not valid JSON ({error}) — truncated or foreign file?",
+                path=path,
+            ) from error
+        try:
+            index = cls.from_dict(document)
+            index.validate()
+        except IndexPersistenceError as error:
+            if error.path is None:
+                error.path = path
+            raise
+        except IndexStateError as error:
+            raise IndexPersistenceError(
+                f"snapshot violates index invariants: {error}", path=path
+            ) from error
+        return index
 
     def __repr__(self) -> str:
         stats = self.space_stats()

@@ -32,7 +32,7 @@ from collections import deque
 from dataclasses import dataclass, field
 from bisect import bisect_left
 from heapq import heappush, heappop, heapify
-from typing import TYPE_CHECKING, Iterable
+from typing import TYPE_CHECKING, Callable, Iterable
 
 from repro.devtools.contracts import (
     verify_maintainer_query,
@@ -111,6 +111,13 @@ class KPIndexMaintainer:
         ``"order"`` (the k-order candidate walks of [30], see
         :mod:`repro.kcore.order_maintenance`).  Both are exact; the knob
         exists for the ablation benches.
+    index:
+        An already-built :class:`KPIndex` of exactly ``graph`` — a loaded
+        checkpoint in the durability layer (:mod:`repro.service`) — to
+        resume from instead of rebuilding with Algorithm 2.  The caller
+        is responsible for the graph/index pairing (the service layer
+        verifies it via graph fingerprints); the index is structurally
+        :meth:`~KPIndex.validate`-d here.
     """
 
     def __init__(
@@ -119,10 +126,16 @@ class KPIndexMaintainer:
         mode: MaintenanceMode = MaintenanceMode.RANGE,
         strict: bool = False,
         core_backend: str = "traversal",
+        index: KPIndex | None = None,
     ) -> None:
         self.graph = graph
         self.mode = mode
         self.strict = strict
+        #: Write-ahead hooks: each callable receives ``(op, u, v)`` with
+        #: ``op`` in ``{"insert", "delete"}`` *before* the update is
+        #: applied — the journaling point of :mod:`repro.service`.  A hook
+        #: that raises aborts the update before any state changes.
+        self.update_hooks: list[Callable[[str, Vertex, Vertex], None]] = []
         self._cores: CoreMaintainer | OrderBasedCoreMaintainer
         if core_backend == "traversal":
             self._cores = CoreMaintainer(graph)
@@ -135,8 +148,16 @@ class KPIndexMaintainer:
                 f"unknown core_backend {core_backend!r} "
                 "(expected 'traversal' or 'order')"
             )
-        self.index = KPIndex.build(graph)
+        if index is None:
+            self.index = KPIndex.build(graph)
+        else:
+            index.validate()
+            self.index = index
         self.stats = MaintenanceStats()
+
+    def _fire_update_hooks(self, op: str, u: Vertex, v: Vertex) -> None:
+        for hook in self.update_hooks:
+            hook(op, u, v)
 
     # ------------------------------------------------------------------
     # public accessors
@@ -205,6 +226,7 @@ class KPIndexMaintainer:
         Under ``REPRO_OBS`` the update records one counter per theorem it
         fires (Thms. 2-6) plus the ``[p_-, p_+]`` windows it re-peels.
         """
+        self._fire_update_hooks("insert", u, v)
         with maybe_span(metric.MAINT_SPAN_INSERT):
             self._insert_edge_impl(u, v)
 
@@ -307,6 +329,7 @@ class KPIndexMaintainer:
         Under ``REPRO_OBS`` the update records one counter per theorem it
         fires (Thms. 7-9) plus the ``[p_-, p_+]`` windows it re-peels.
         """
+        self._fire_update_hooks("delete", u, v)
         with maybe_span(metric.MAINT_SPAN_DELETE):
             self._delete_edge_impl(u, v)
 

@@ -20,6 +20,7 @@ __all__ = [
     "VertexLabelError",
     "DatasetError",
     "IndexStateError",
+    "IndexPersistenceError",
     "ContractViolationError",
 ]
 
@@ -111,6 +112,27 @@ class DatasetError(ReproError):
 
 class IndexStateError(ReproError, RuntimeError):
     """A KP-Index operation was attempted from an invalid state."""
+
+
+class IndexPersistenceError(ReproError):
+    """A persisted index artifact could not be read back.
+
+    Covers every load-path failure mode — unparseable JSON, truncated
+    files, checksum mismatches, foreign/unknown formats, corrupt journal
+    records — so callers (the CLI in particular) can report corrupt
+    on-disk state as a library error instead of leaking the underlying
+    ``json``/``KeyError``/``TypeError`` traceback.
+    """
+
+    def __init__(self, message: str, path: str | None = None):
+        super().__init__(message)
+        self.path = path
+
+    def __str__(self) -> str:
+        base = super().__str__()
+        if self.path is None:
+            return base
+        return f"{self.path}: {base}"
 
 
 class ContractViolationError(ReproError, AssertionError):

@@ -16,6 +16,11 @@ everything the (k,p)-core algorithms stand on:
 
 from repro.graph.adjacency import Edge, Graph, Vertex
 from repro.graph.compact import CompactAdjacency
+from repro.graph.fingerprint import (
+    GraphFingerprint,
+    edge_multiset_hash,
+    graph_fingerprint,
+)
 from repro.graph.io import iter_edge_list, parse_edge_list, read_edge_list, write_edge_list
 from repro.graph.metrics import (
     GraphSummary,
@@ -45,6 +50,9 @@ __all__ = [
     "write_edge_list",
     "iter_edge_list",
     "parse_edge_list",
+    "GraphFingerprint",
+    "graph_fingerprint",
+    "edge_multiset_hash",
     "density",
     "average_degree",
     "max_degree",

@@ -13,7 +13,12 @@ import io
 import os
 from typing import IO, Iterable, Iterator, Union
 
-from repro.errors import EdgeListParseError, SelfLoopError, VertexLabelError
+from repro.errors import (
+    EdgeListParseError,
+    ParameterError,
+    SelfLoopError,
+    VertexLabelError,
+)
 from repro.graph.adjacency import Edge, Graph
 
 __all__ = [
@@ -33,7 +38,10 @@ def _open_for_read(source: PathOrFile) -> tuple[IO[str], bool]:
 
 
 def iter_edge_list(
-    source: PathOrFile, comment: str = "#", int_vertices: bool = True
+    source: PathOrFile,
+    comment: str = "#",
+    int_vertices: bool = True,
+    extra_tokens: str = "error",
 ) -> Iterator[Edge]:
     """Yield edges from a SNAP-style edge list.
 
@@ -46,6 +54,13 @@ def iter_edge_list(
     int_vertices:
         When true (default), vertex tokens must parse as integers; when
         false they are kept as strings.
+    extra_tokens:
+        What to do with lines carrying more than two tokens — typically a
+        temporal/weighted SNAP file that is *not* a plain pair list.
+        ``"error"`` (default) rejects the line with its line number;
+        ``"ignore"`` is an explicit opt-in that keeps only the first two
+        tokens (for datasets whose trailing columns are known timestamps
+        or weights).
 
     Raises
     ------
@@ -55,6 +70,10 @@ def iter_edge_list(
         :class:`~repro.errors.VertexLabelError` (a subclass), so callers
         probing the label convention can retry on exactly that case.
     """
+    if extra_tokens not in ("error", "ignore"):
+        raise ParameterError(
+            f"extra_tokens must be 'error' or 'ignore', got {extra_tokens!r}"
+        )
     stream, owned = _open_for_read(source)
     try:
         for line_number, raw in enumerate(stream, start=1):
@@ -65,6 +84,13 @@ def iter_edge_list(
             if len(tokens) < 2:
                 raise EdgeListParseError(
                     f"expected two vertex tokens, got {line!r}", line_number
+                )
+            if len(tokens) > 2 and extra_tokens == "error":
+                raise EdgeListParseError(
+                    f"expected exactly two vertex tokens, got {line!r} "
+                    "(a temporal/weighted list? pass extra_tokens='ignore' "
+                    "to keep only the vertex pair)",
+                    line_number,
                 )
             u_token, v_token = tokens[0], tokens[1]
             if int_vertices:
@@ -86,16 +112,24 @@ def read_edge_list(
     comment: str = "#",
     int_vertices: bool = True,
     drop_self_loops: bool = True,
+    extra_tokens: str = "error",
 ) -> Graph:
     """Read a :class:`~repro.graph.adjacency.Graph` from a SNAP edge list.
 
     Duplicate edges merge silently.  Self loops are dropped by default
     (matching how the paper's pre-processing treats raw SNAP data); with
     ``drop_self_loops=False`` they raise
-    :class:`~repro.errors.SelfLoopError`.
+    :class:`~repro.errors.SelfLoopError`.  Lines with trailing extra
+    columns are rejected unless ``extra_tokens="ignore"`` opts in (see
+    :func:`iter_edge_list`).
     """
     graph = Graph()
-    for u, v in iter_edge_list(source, comment=comment, int_vertices=int_vertices):
+    for u, v in iter_edge_list(
+        source,
+        comment=comment,
+        int_vertices=int_vertices,
+        extra_tokens=extra_tokens,
+    ):
         if u == v:
             if drop_self_loops:
                 graph.add_vertex(u)

@@ -4,7 +4,7 @@ One module owns every counter/histogram/span name so the catalog in
 ``docs/observability.md``, the tests, and the recording sites cannot
 drift apart.  Names are dotted paths: the first segment is the subsystem
 (``kcore``, ``kpcore``, ``decomp``, ``maintenance``, ``index``,
-``korder``), the rest describes the quantity.
+``korder``, ``service``), the rest describes the quantity.
 
 Counters count *operations* (monotone integers), histograms summarize
 *values* (window widths, answer sizes, subcore sizes), and spans measure
@@ -93,6 +93,14 @@ INDEX_ANSWER_SIZE = "index.answer_size"
 INDEX_LEVELS_SEARCHED = "index.levels_searched"
 
 # ----------------------------------------------------------------------
+# durable index service (repro.service) — checkpoints, journal, recovery
+# ----------------------------------------------------------------------
+SERVICE_CHECKPOINTS = "service.checkpoints"
+SERVICE_JOURNAL_RECORDS = "service.journal_records"
+SERVICE_REPLAYED = "service.replayed"
+SERVICE_RECOVERIES = "service.recoveries"
+
+# ----------------------------------------------------------------------
 # incremental core maintenance (repro.kcore.maintenance /
 # repro.kcore.order_maintenance)
 # ----------------------------------------------------------------------
@@ -141,6 +149,10 @@ COUNTERS: dict[str, str] = {
     INDEX_QUERIES: "KP-Index queries answered (Algorithm 3)",
     INDEX_EMPTY_QUERIES: "queries whose answer was empty",
     INDEX_VERTICES_TOUCHED: "vertices returned across all queries",
+    SERVICE_CHECKPOINTS: "durable checkpoints written (graph + index + manifest)",
+    SERVICE_JOURNAL_RECORDS: "write-ahead journal records appended",
+    SERVICE_REPLAYED: "journal records replayed during recovery",
+    SERVICE_RECOVERIES: "recoveries from persisted state (checkpoint and/or journal)",
     KCORE_MAINT_PROMOTED: "vertices whose core number rose by an insert",
     KCORE_MAINT_DEMOTED: "vertices whose core number fell by a delete",
     KORDER_LEVELS_REBUILT: "k-order levels rebuilt after a core change",

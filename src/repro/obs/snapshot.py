@@ -11,6 +11,8 @@ render to tables via :mod:`repro.obs.report`.
 from __future__ import annotations
 
 import json
+import os
+import tempfile
 from dataclasses import dataclass, field
 from typing import IO, Mapping
 
@@ -114,12 +116,31 @@ class MetricsSnapshot:
         return cls.from_dict(json.loads(text))
 
     def save(self, path_or_file: str | IO[str]) -> None:
-        """Write the snapshot as JSON to a path or open text file."""
+        """Write the snapshot as JSON to a path or open text file.
+
+        Path writes are atomic (temp file + ``os.replace``), so an
+        interrupted dump never truncates a previously written snapshot.
+        """
         if hasattr(path_or_file, "write"):
             path_or_file.write(self.to_json())  # type: ignore[union-attr]
             return
-        with open(path_or_file, "w", encoding="utf-8") as handle:  # type: ignore[arg-type]
-            handle.write(self.to_json())
+        path = os.fspath(path_or_file)  # type: ignore[arg-type]
+        directory = os.path.dirname(os.path.abspath(path))
+        fd, tmp_path = tempfile.mkstemp(
+            dir=directory, prefix=os.path.basename(path) + ".", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                handle.write(self.to_json())
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp_path, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_path)
+            except OSError:
+                pass
+            raise
 
     @classmethod
     def load(cls, path: str) -> "MetricsSnapshot":

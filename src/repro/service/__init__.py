@@ -1,0 +1,48 @@
+"""Durability layer around KP-Index maintenance (the Sec. VI service).
+
+The maintenance algorithms (Algorithms 4-5) keep an already-built index
+exact under edge updates; this package makes that state *survive the
+process*:
+
+* :mod:`~repro.service.journal` — an append-only, fsync-per-batch JSONL
+  write-ahead journal of edge updates, tolerant of a torn final line,
+* :mod:`~repro.service.stream` — parsing of edge-update stream files
+  (``+ u v`` / ``- u v`` lines, bare pairs insert),
+* :mod:`~repro.service.durable` — :class:`~repro.service.durable.
+  DurableMaintainer`: periodic atomic checkpoints (graph edge list +
+  v2 index snapshot + manifest), write-ahead journaling of every update,
+  and crash recovery by checkpoint-load + journal-tail replay.
+
+Full rebuilds (O(m) Batagelj-Zaveršnik + Algorithm 2) stay the last
+resort: recovery replays only the journal tail on top of the last good
+checkpoint.  See ``docs/persistence.md`` for formats and procedures.
+"""
+
+from repro.service.durable import (
+    CHECKPOINT_EVERY_DEFAULT,
+    ApplyReport,
+    DurableMaintainer,
+    ErrorPolicy,
+    RecoveryReport,
+    ServiceStats,
+)
+from repro.service.journal import (
+    JournalRecord,
+    UpdateJournal,
+    read_journal,
+)
+from repro.service.stream import iter_update_stream, read_update_stream
+
+__all__ = [
+    "DurableMaintainer",
+    "ApplyReport",
+    "ErrorPolicy",
+    "RecoveryReport",
+    "ServiceStats",
+    "CHECKPOINT_EVERY_DEFAULT",
+    "JournalRecord",
+    "UpdateJournal",
+    "read_journal",
+    "iter_update_stream",
+    "read_update_stream",
+]

@@ -1,0 +1,177 @@
+"""Append-only write-ahead journal of edge updates (JSONL).
+
+One record per line::
+
+    {"op": "insert", "u": 3, "v": 7, "seq": 42}
+
+``seq`` is a strictly increasing global sequence number; a checkpoint
+records the last sequence it covers, and recovery replays exactly the
+records after it (the *journal tail*).
+
+Durability discipline: :meth:`UpdateJournal.append` writes and flushes the
+record to the OS **before** the update is applied to the in-memory index
+(the write-ahead property — it is installed as a
+:attr:`~repro.core.maintenance.KPIndexMaintainer.update_hooks` hook), and
+:meth:`UpdateJournal.commit` fsyncs once per *batch* rather than per
+record.  A crash can therefore tear at most the final line of the file;
+:func:`read_journal` tolerates exactly that — an unparseable **last** line
+is dropped, while an unparseable earlier line means real corruption and
+raises :class:`~repro.errors.IndexPersistenceError`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from typing import IO
+
+from repro.errors import IndexPersistenceError
+from repro.graph.adjacency import Vertex
+
+__all__ = [
+    "OP_INSERT",
+    "OP_DELETE",
+    "JournalRecord",
+    "UpdateJournal",
+    "read_journal",
+]
+
+OP_INSERT = "insert"
+OP_DELETE = "delete"
+_OPS = frozenset((OP_INSERT, OP_DELETE))
+
+
+@dataclass(frozen=True)
+class JournalRecord:
+    """One journaled edge update."""
+
+    op: str
+    u: Vertex
+    v: Vertex
+    seq: int
+
+    def to_line(self) -> str:
+        return json.dumps(
+            {"op": self.op, "u": self.u, "v": self.v, "seq": self.seq},
+            separators=(",", ":"),
+        )
+
+    @classmethod
+    def from_line(
+        cls, line: str, line_number: int | None = None
+    ) -> "JournalRecord":
+        where = "" if line_number is None else f" at line {line_number}"
+        try:
+            payload = json.loads(line)
+            op = payload["op"]
+            if op not in _OPS:
+                raise ValueError(f"unknown op {op!r}")
+            return cls(op=op, u=payload["u"], v=payload["v"], seq=int(payload["seq"]))
+        except (KeyError, TypeError, ValueError) as error:
+            raise IndexPersistenceError(
+                f"corrupt journal record{where}: {line!r} ({error})"
+            ) from error
+
+
+class UpdateJournal:
+    """Appender over one journal file.
+
+    ``append`` writes + flushes each record (so the write-ahead ordering
+    holds at the OS level); ``commit`` fsyncs everything appended since
+    the previous commit — call it once per applied batch and before every
+    checkpoint.
+    """
+
+    def __init__(self, path: str, start_seq: int = 0) -> None:
+        self.path = path
+        self._next_seq = start_seq
+        self._handle: IO[str] | None = open(path, "a", encoding="utf-8")
+        self._pending = 0
+
+    @property
+    def next_seq(self) -> int:
+        return self._next_seq
+
+    @property
+    def last_seq(self) -> int:
+        """Sequence number of the most recently appended record (or
+        ``start_seq - 1`` if nothing has been appended yet)."""
+        return self._next_seq - 1
+
+    def append(self, op: str, u: Vertex, v: Vertex) -> JournalRecord:
+        if self._handle is None:
+            raise IndexPersistenceError(
+                "journal is closed", path=self.path
+            )
+        if op not in _OPS:
+            raise IndexPersistenceError(
+                f"unknown journal op {op!r}", path=self.path
+            )
+        record = JournalRecord(op=op, u=u, v=v, seq=self._next_seq)
+        self._handle.write(record.to_line() + "\n")
+        self._handle.flush()
+        self._next_seq += 1
+        self._pending += 1
+        return record
+
+    def commit(self) -> int:
+        """fsync records appended since the last commit; return how many."""
+        committed = self._pending
+        if self._handle is not None and committed:
+            os.fsync(self._handle.fileno())
+        self._pending = 0
+        return committed
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self.commit()
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "UpdateJournal":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+def read_journal(path: str, after_seq: int = -1) -> list[JournalRecord]:
+    """Read journal records with ``seq > after_seq``, in order.
+
+    A missing file reads as empty (a fresh deployment has no journal).  A
+    torn **final** line — the signature of a crash mid-append — is
+    silently dropped; any earlier unparseable line, or a non-increasing
+    sequence number, raises :class:`~repro.errors.IndexPersistenceError`.
+    """
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            raw_lines = handle.readlines()
+    except FileNotFoundError:
+        return []
+    numbered = [
+        (number, line.strip())
+        for number, line in enumerate(raw_lines, start=1)
+        if line.strip()
+    ]
+    records: list[JournalRecord] = []
+    last = len(numbered) - 1
+    previous_seq: int | None = None
+    for position, (number, line) in enumerate(numbered):
+        try:
+            record = JournalRecord.from_line(line, line_number=number)
+        except IndexPersistenceError as error:
+            if position == last:
+                break  # torn tail: the crash interrupted this append
+            error.path = path
+            raise
+        if previous_seq is not None and record.seq <= previous_seq:
+            raise IndexPersistenceError(
+                f"journal sequence regressed at line {number}: "
+                f"{record.seq} after {previous_seq}",
+                path=path,
+            )
+        previous_seq = record.seq
+        if record.seq > after_seq:
+            records.append(record)
+    return records

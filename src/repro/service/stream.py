@@ -1,0 +1,102 @@
+"""Edge-update stream files: the dynamic-graph input format.
+
+A stream file is line-oriented text, ``#`` comments and blank lines
+skipped::
+
+    + 1 2     # insert edge (1, 2)
+    - 1 2     # delete edge (1, 2)
+    3 4       # bare pair: insert (the common SNAP-dump case)
+
+Trailing columns beyond the vertex pair (timestamps/weights in temporal
+SNAP dumps) are rejected by default with the offending line number;
+``extra_tokens="ignore"`` opts in to dropping them, mirroring
+:func:`repro.graph.io.iter_edge_list`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.errors import EdgeListParseError, ParameterError, VertexLabelError
+from repro.graph.adjacency import Vertex
+from repro.graph.io import PathOrFile, _open_for_read
+from repro.service.journal import OP_DELETE, OP_INSERT
+
+__all__ = ["UpdateOp", "iter_update_stream", "read_update_stream"]
+
+#: One parsed stream entry: ``(op, u, v)`` with op in {"insert", "delete"}.
+UpdateOp = tuple[str, Vertex, Vertex]
+
+_PREFIX_OPS = {"+": OP_INSERT, "-": OP_DELETE}
+
+
+def iter_update_stream(
+    source: PathOrFile,
+    comment: str = "#",
+    int_vertices: bool = True,
+    extra_tokens: str = "error",
+) -> Iterator[UpdateOp]:
+    """Yield ``(op, u, v)`` updates from a stream file.
+
+    Raises :class:`~repro.errors.EdgeListParseError` (with the line
+    number) for malformed lines, and its subclass
+    :class:`~repro.errors.VertexLabelError` when only the integer-label
+    assumption failed, so callers can probe the label convention the same
+    way the edge-list reader does.
+    """
+    if extra_tokens not in ("error", "ignore"):
+        raise ParameterError(
+            f"extra_tokens must be 'error' or 'ignore', got {extra_tokens!r}"
+        )
+    stream, owned = _open_for_read(source)
+    try:
+        for line_number, raw in enumerate(stream, start=1):
+            line = raw.strip()
+            if not line or line.startswith(comment):
+                continue
+            tokens = line.split()
+            op = OP_INSERT
+            if tokens[0] in _PREFIX_OPS:
+                op = _PREFIX_OPS[tokens[0]]
+                tokens = tokens[1:]
+            if len(tokens) < 2:
+                raise EdgeListParseError(
+                    f"expected an op prefix and two vertex tokens, got {line!r}",
+                    line_number,
+                )
+            if len(tokens) > 2 and extra_tokens == "error":
+                raise EdgeListParseError(
+                    f"unexpected extra tokens in {line!r} "
+                    "(a temporal/weighted stream? pass extra_tokens='ignore')",
+                    line_number,
+                )
+            u_token, v_token = tokens[0], tokens[1]
+            if int_vertices:
+                try:
+                    yield (op, int(u_token), int(v_token))
+                except ValueError:
+                    raise VertexLabelError(
+                        f"non-integer vertex in {line!r}", line_number
+                    ) from None
+            else:
+                yield (op, u_token, v_token)
+    finally:
+        if owned:
+            stream.close()
+
+
+def read_update_stream(
+    source: PathOrFile,
+    comment: str = "#",
+    int_vertices: bool = True,
+    extra_tokens: str = "error",
+) -> list[UpdateOp]:
+    """Materialized form of :func:`iter_update_stream`."""
+    return list(
+        iter_update_stream(
+            source,
+            comment=comment,
+            int_vertices=int_vertices,
+            extra_tokens=extra_tokens,
+        )
+    )

@@ -80,12 +80,96 @@ class TestIndexCommands:
     def test_build_then_query_round_trip(self, edge_list_file, tmp_path, capsys):
         index_path = str(tmp_path / "index.json")
         assert main(["index", "build", edge_list_file, "-o", index_path]) == 0
-        payload = json.load(open(index_path))
-        assert "arrays" in payload
+        document = json.load(open(index_path))
+        assert document["format_version"] == 2
+        assert "arrays" in document["payload"]
+        assert "fingerprint" in document
         capsys.readouterr()
         assert main(["index", "query", index_path, "-k", "3", "-p", "0.5"]) == 0
         out = capsys.readouterr().out
         assert "(3,0.5)-core" in out
+
+    def test_query_corrupt_index_reports_error(self, tmp_path, capsys):
+        # Truncated JSON must exit 1 with an `error:` line, not a traceback.
+        path = tmp_path / "bad.json"
+        path.write_text('{"num_edges": 3')
+        assert main(["index", "query", str(path), "-k", "2", "-p", "0.5"]) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+
+    def test_query_foreign_json_reports_error(self, tmp_path, capsys):
+        path = tmp_path / "foreign.json"
+        path.write_text('{"hello": "world"}')
+        assert main(["index", "query", str(path), "-k", "2", "-p", "0.5"]) == 1
+        assert capsys.readouterr().err.startswith("error:")
+
+    def test_build_into_directory_reports_error(
+        self, edge_list_file, tmp_path, capsys
+    ):
+        # IsADirectoryError is an OSError outside ReproError; it must be
+        # reported cleanly instead of escaping as a traceback.
+        assert main(
+            ["index", "build", edge_list_file, "-o", str(tmp_path)]
+        ) == 1
+        assert capsys.readouterr().err.startswith("error:")
+
+
+class TestIndexUpdateRecover:
+    @staticmethod
+    def _write_stream(path, lines):
+        path.write_text("".join(line + "\n" for line in lines))
+        return str(path)
+
+    def test_update_then_recover_round_trip(self, tmp_path, capsys):
+        stream = self._write_stream(
+            tmp_path / "stream.txt",
+            ["+ 1 2", "+ 2 3", "+ 3 1", "+ 1 4", "- 1 4"],
+        )
+        state = str(tmp_path / "state")
+        assert main(
+            ["index", "update", state, "--stream", stream,
+             "--checkpoint-every", "2"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "applied 5 updates" in out
+        assert main(["index", "recover", state]) == 0
+        out = capsys.readouterr().out
+        assert "recovered from checkpoint" in out
+
+    def test_update_skip_policy_counts_duplicates(self, tmp_path, capsys):
+        stream = self._write_stream(
+            tmp_path / "stream.txt", ["+ 1 2", "+ 1 2", "- 9 9"]
+        )
+        state = str(tmp_path / "state")
+        assert main(
+            ["index", "update", state, "--stream", stream,
+             "--on-error", "skip"]
+        ) == 0
+        assert "skipped 2" in capsys.readouterr().out
+
+    def test_update_fail_policy_reports_error(self, tmp_path, capsys):
+        stream = self._write_stream(tmp_path / "stream.txt", ["- 1 2"])
+        state = str(tmp_path / "state")
+        assert main(["index", "update", state, "--stream", stream]) == 1
+        assert capsys.readouterr().err.startswith("error:")
+
+    def test_update_rejects_temporal_stream_without_optin(
+        self, tmp_path, capsys
+    ):
+        stream = self._write_stream(tmp_path / "stream.txt", ["1 2 1700000000"])
+        state = str(tmp_path / "state")
+        assert main(["index", "update", state, "--stream", stream]) == 1
+        assert "line 1" in capsys.readouterr().err
+        capsys.readouterr()
+        assert main(
+            ["index", "update", state, "--stream", stream,
+             "--ignore-extra-tokens"]
+        ) == 0
+        assert "applied 1 updates" in capsys.readouterr().out
+
+    def test_recover_missing_directory_reports_error(self, tmp_path, capsys):
+        assert main(["index", "recover", str(tmp_path / "nope")]) == 1
+        assert capsys.readouterr().err.startswith("error:")
 
 
 class TestDataset:

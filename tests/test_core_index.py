@@ -173,3 +173,105 @@ class TestFilePersistence:
     def test_load_missing_file_raises(self, tmp_path):
         with pytest.raises(FileNotFoundError):
             KPIndex.load(str(tmp_path / "nope.json"))
+
+    def test_truncated_json_raises_typed_error(self, tmp_path):
+        from repro.errors import IndexPersistenceError
+
+        path = tmp_path / "bad.json"
+        path.write_text('{"num_edges": 3')
+        with pytest.raises(IndexPersistenceError) as excinfo:
+            KPIndex.load(str(path))
+        assert excinfo.value.path == str(path)
+        assert "truncated or foreign file" in str(excinfo.value)
+
+    def test_foreign_json_raises_typed_error(self, tmp_path):
+        from repro.errors import IndexPersistenceError
+
+        path = tmp_path / "foreign.json"
+        path.write_text('{"hello": [1, 2, 3]}')
+        with pytest.raises(IndexPersistenceError):
+            KPIndex.load(str(path))
+
+    def test_checksum_mismatch_detected(self, tmp_path):
+        import json
+
+        from repro.errors import IndexPersistenceError
+
+        g = erdos_renyi_gnm(10, 20, seed=3)
+        path = str(tmp_path / "index.json")
+        KPIndex.build(g).save(path)
+        document = json.load(open(path))
+        document["payload"]["num_edges"] += 1  # silent bit-flip
+        with open(path, "w") as handle:
+            json.dump(document, handle)
+        with pytest.raises(IndexPersistenceError) as excinfo:
+            KPIndex.load(path)
+        assert "checksum" in str(excinfo.value)
+
+    def test_unsupported_format_version_rejected(self, tmp_path):
+        import json
+
+        from repro.errors import IndexPersistenceError
+
+        path = tmp_path / "future.json"
+        path.write_text(json.dumps({"format_version": 99, "payload": {}}))
+        with pytest.raises(IndexPersistenceError):
+            KPIndex.load(str(path))
+
+    def test_v1_document_still_loads(self, tmp_path):
+        # Pre-envelope snapshots were the bare payload; migration keeps
+        # them loadable.
+        import json
+
+        g = erdos_renyi_gnm(12, 24, seed=4)
+        index = KPIndex.build(g)
+        path = tmp_path / "v1.json"
+        path.write_text(json.dumps(index.to_payload()))
+        restored = KPIndex.load(str(path))
+        assert restored.semantically_equal(index)
+
+    def test_fingerprint_round_trips(self, tmp_path):
+        from repro.graph.fingerprint import graph_fingerprint
+
+        g = erdos_renyi_gnm(10, 18, seed=5)
+        index = KPIndex.build(g)
+        path = str(tmp_path / "index.json")
+        index.save(path, fingerprint=graph_fingerprint(g))
+        restored = KPIndex.load(path)
+        assert restored.fingerprint is not None
+        assert restored.fingerprint.matches(g)
+
+    def test_invalid_structure_rejected_on_load(self, tmp_path):
+        # validate() runs on load: an out-of-order p-number array must be
+        # rejected even though the JSON itself is well-formed.
+        import json
+
+        from repro.errors import IndexPersistenceError
+
+        payload = {
+            "num_edges": 1,
+            "arrays": {"1": {"vertices": [1, 2], "p_numbers": [0.9, 0.5]}},
+        }
+        path = tmp_path / "invalid.json"
+        path.write_text(json.dumps(payload))
+        with pytest.raises(IndexPersistenceError):
+            KPIndex.load(str(path))
+
+    def test_failed_save_preserves_previous_file(self, tmp_path, monkeypatch):
+        import os
+
+        g = erdos_renyi_gnm(10, 18, seed=6)
+        index = KPIndex.build(g)
+        path = str(tmp_path / "index.json")
+        index.save(path)
+        before = open(path).read()
+
+        def explode(src, dst):
+            raise OSError("simulated replace failure")
+
+        monkeypatch.setattr(os, "replace", explode)
+        with pytest.raises(OSError):
+            index.save(path)
+        monkeypatch.undo()
+        assert open(path).read() == before  # old snapshot untouched
+        assert [p for p in os.listdir(tmp_path)] == ["index.json"]  # no temp litter

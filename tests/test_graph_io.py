@@ -47,9 +47,22 @@ class TestRead:
         with pytest.raises(SelfLoopError):
             parse_edge_list("1 1\n", drop_self_loops=False)
 
-    def test_extra_columns_ignored(self):
-        g = parse_edge_list("1 2 1591683245\n")
-        assert g.has_edge(1, 2)
+    def test_extra_columns_rejected_with_line_number(self):
+        # A 3-column temporal/weighted SNAP file is not a pair list; it
+        # must fail loudly (naming the line) instead of silently parsing.
+        with pytest.raises(EdgeListParseError) as excinfo:
+            parse_edge_list("1 2\n1 2 1591683245\n")
+        assert excinfo.value.line_number == 2
+
+    def test_extra_columns_explicit_ignore_opt_in(self):
+        g = parse_edge_list("1 2 1591683245\n3 4 0.75\n", extra_tokens="ignore")
+        assert g.has_edge(1, 2) and g.has_edge(3, 4)
+
+    def test_extra_tokens_bad_mode_rejected(self):
+        from repro.errors import ParameterError
+
+        with pytest.raises(ParameterError):
+            parse_edge_list("1 2\n", extra_tokens="maybe")
 
     def test_malformed_line_raises_with_line_number(self):
         with pytest.raises(EdgeListParseError) as excinfo:

@@ -8,7 +8,9 @@ index/query agreement, Lemma 1 space bounds, and maintenance exactness.
 
 from __future__ import annotations
 
+import os
 import random
+import tempfile
 
 from hypothesis import given, settings, strategies as st
 
@@ -166,6 +168,48 @@ def test_decomposition_agrees_with_direct_kp_core_between_levels(edges, k):
         assert kp_core_vertices(g, k, midpoint) == {
             v for v, value in pn.items() if value >= high
         }
+
+
+@given(edges_strategy)
+@settings(max_examples=60, deadline=None)
+def test_index_save_load_round_trip_is_semantically_equal(edges):
+    """Persistence property: save -> load preserves index semantics exactly
+    (pn_maps compare with exact doubles, no float drift through JSON)."""
+    index = KPIndex.build(graph_from(edges))
+    with tempfile.TemporaryDirectory() as tmp:
+        path = os.path.join(tmp, "index.json")
+        index.save(path)
+        restored = KPIndex.load(path)
+    assert restored.semantically_equal(index)
+
+
+@given(edges_strategy, st.integers(0, 2**31))
+@settings(max_examples=25, deadline=None)
+def test_maintainer_resumed_from_loaded_index_stays_exact(edges, seed):
+    """A maintainer resumed on a *loaded* snapshot must stay exact under a
+    random update stream, vs. from-scratch decomposition of the end graph."""
+    g = graph_from(edges)
+    with tempfile.TemporaryDirectory() as tmp:
+        path = os.path.join(tmp, "index.json")
+        KPIndex.build(g).save(path)
+        loaded = KPIndex.load(path)
+    maintainer = KPIndexMaintainer(g.copy(), strict=True, index=loaded)
+    rng = random.Random(seed)
+    for _ in range(8):
+        live = list(maintainer.graph.edges())
+        if live and rng.random() < 0.4:
+            u, v = live[rng.randrange(len(live))]
+            maintainer.delete_edge(u, v)
+        else:
+            u, v = rng.randrange(MAX_N), rng.randrange(MAX_N)
+            if u == v or maintainer.graph.has_edge(u, v):
+                continue
+            maintainer.insert_edge(u, v)
+    expected = kp_core_decomposition(maintainer.graph)
+    pn_maps = maintainer.index.pn_maps()
+    assert set(pn_maps) == set(expected.arrays)
+    for k, fixed in expected.arrays.items():
+        assert pn_maps[k] == fixed.pn_map()
 
 
 @given(edges_strategy, st.integers(0, 2**31))

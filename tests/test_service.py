@@ -1,0 +1,463 @@
+"""Tests for the durability layer: journal, streams, checkpoints, recovery.
+
+The fault-injection tests simulate crashes at every stage of the
+checkpoint protocol (via ``DurableMaintainer``'s ``fault_hook``) and with
+torn journal tails, then assert the recovered index is
+``semantically_equal`` to building from scratch on the final graph — the
+exactness bar the maintenance algorithms themselves are held to.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+
+import pytest
+
+from repro.errors import (
+    EdgeListParseError,
+    EdgeNotFoundError,
+    IndexPersistenceError,
+    ParameterError,
+)
+from repro.graph.adjacency import Graph
+from repro.graph.fingerprint import graph_fingerprint
+from repro.graph.generators import erdos_renyi_gnm
+from repro.core.index import KPIndex
+from repro.service import (
+    DurableMaintainer,
+    ErrorPolicy,
+    JournalRecord,
+    UpdateJournal,
+    iter_update_stream,
+    read_journal,
+    read_update_stream,
+)
+from repro.service.durable import JOURNAL_NAME, MANIFEST_NAME
+
+
+def edges_of(seed: int, n: int = 16, m: int = 40) -> list:
+    return list(erdos_renyi_gnm(n, m, seed=seed).edges())
+
+
+def from_scratch(edges) -> KPIndex:
+    return KPIndex.build(Graph(edges))
+
+
+# ----------------------------------------------------------------------
+# journal
+# ----------------------------------------------------------------------
+class TestJournal:
+    def test_append_read_round_trip(self, tmp_path):
+        path = str(tmp_path / "journal.jsonl")
+        with UpdateJournal(path) as journal:
+            journal.append("insert", 1, 2)
+            journal.append("insert", 2, 3)
+            journal.append("delete", 1, 2)
+        records = read_journal(path)
+        assert [(r.op, r.u, r.v, r.seq) for r in records] == [
+            ("insert", 1, 2, 0),
+            ("insert", 2, 3, 1),
+            ("delete", 1, 2, 2),
+        ]
+
+    def test_after_seq_filters_the_tail(self, tmp_path):
+        path = str(tmp_path / "journal.jsonl")
+        with UpdateJournal(path) as journal:
+            for i in range(5):
+                journal.append("insert", i, i + 1)
+        tail = read_journal(path, after_seq=2)
+        assert [r.seq for r in tail] == [3, 4]
+
+    def test_missing_file_reads_empty(self, tmp_path):
+        assert read_journal(str(tmp_path / "nope.jsonl")) == []
+
+    def test_torn_final_line_is_tolerated(self, tmp_path):
+        path = str(tmp_path / "journal.jsonl")
+        with UpdateJournal(path) as journal:
+            journal.append("insert", 1, 2)
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"op":"insert","u":3,')  # crash mid-append
+        records = read_journal(path)
+        assert [r.seq for r in records] == [0]
+
+    def test_corrupt_middle_line_raises(self, tmp_path):
+        path = str(tmp_path / "journal.jsonl")
+        lines = [
+            JournalRecord("insert", 1, 2, 0).to_line(),
+            "garbage",
+            JournalRecord("insert", 2, 3, 1).to_line(),
+        ]
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write("\n".join(lines) + "\n")
+        with pytest.raises(IndexPersistenceError):
+            read_journal(path)
+
+    def test_sequence_regression_raises(self, tmp_path):
+        path = str(tmp_path / "journal.jsonl")
+        lines = [
+            JournalRecord("insert", 1, 2, 5).to_line(),
+            JournalRecord("insert", 2, 3, 4).to_line(),
+            JournalRecord("insert", 3, 4, 6).to_line(),
+        ]
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write("\n".join(lines) + "\n")
+        with pytest.raises(IndexPersistenceError):
+            read_journal(path)
+
+    def test_unknown_op_rejected_on_append(self, tmp_path):
+        with UpdateJournal(str(tmp_path / "j.jsonl")) as journal:
+            with pytest.raises(IndexPersistenceError):
+                journal.append("upsert", 1, 2)
+
+    def test_commit_counts_pending_records(self, tmp_path):
+        journal = UpdateJournal(str(tmp_path / "j.jsonl"))
+        journal.append("insert", 1, 2)
+        journal.append("insert", 2, 3)
+        assert journal.commit() == 2
+        assert journal.commit() == 0
+        journal.close()
+
+
+# ----------------------------------------------------------------------
+# update streams
+# ----------------------------------------------------------------------
+class TestUpdateStream:
+    def test_prefixes_and_bare_pairs(self):
+        text = "# header\n+ 1 2\n\n- 1 2\n3 4\n"
+        ops = list(iter_update_stream(io.StringIO(text)))
+        assert ops == [("insert", 1, 2), ("delete", 1, 2), ("insert", 3, 4)]
+
+    def test_extra_tokens_rejected_with_line_number(self):
+        with pytest.raises(EdgeListParseError) as excinfo:
+            read_update_stream(io.StringIO("+ 1 2\n+ 3 4 99\n"))
+        assert excinfo.value.line_number == 2
+
+    def test_extra_tokens_ignore_opt_in(self):
+        ops = read_update_stream(
+            io.StringIO("+ 1 2 1700000000\n"), extra_tokens="ignore"
+        )
+        assert ops == [("insert", 1, 2)]
+
+    def test_string_labels(self):
+        ops = read_update_stream(
+            io.StringIO("+ alice bob\n"), int_vertices=False
+        )
+        assert ops == [("insert", "alice", "bob")]
+
+    def test_short_line_raises(self):
+        with pytest.raises(EdgeListParseError):
+            read_update_stream(io.StringIO("+ 1\n"))
+
+    def test_bad_extra_tokens_mode(self):
+        with pytest.raises(ParameterError):
+            read_update_stream(io.StringIO(""), extra_tokens="whatever")
+
+
+# ----------------------------------------------------------------------
+# durable maintainer: normal operation
+# ----------------------------------------------------------------------
+class TestDurableMaintainer:
+    def test_fresh_directory_starts_empty_and_checkpoints(self, tmp_path):
+        state = str(tmp_path / "state")
+        edges = edges_of(seed=1)
+        with DurableMaintainer(state, checkpoint_every=7) as durable:
+            report = durable.apply([("insert", u, v) for u, v in edges])
+            durable.checkpoint()
+        assert report.applied == len(edges)
+        assert report.checkpoints == len(edges) // 7
+        assert os.path.exists(os.path.join(state, MANIFEST_NAME))
+
+    def test_matches_from_scratch_after_mixed_stream(self, tmp_path):
+        state = str(tmp_path / "state")
+        edges = edges_of(seed=2)
+        deletions = edges[::5]
+        with DurableMaintainer(state, checkpoint_every=10) as durable:
+            durable.apply([("insert", u, v) for u, v in edges])
+            durable.apply([("delete", u, v) for u, v in deletions])
+            remaining = [e for e in edges if e not in deletions]
+            assert durable.index.semantically_equal(from_scratch(remaining))
+
+    def test_clean_reopen_resumes_exactly(self, tmp_path):
+        state = str(tmp_path / "state")
+        edges = edges_of(seed=3)
+        with DurableMaintainer(state, checkpoint_every=5) as durable:
+            durable.apply([("insert", u, v) for u, v in edges])
+            durable.checkpoint()
+        with DurableMaintainer(state) as durable:
+            assert durable.recovery is not None
+            assert durable.recovery.replayed == 0
+            assert durable.index.semantically_equal(from_scratch(edges))
+
+    def test_reopened_maintainer_stays_exact_under_updates(self, tmp_path):
+        # The satellite property: a maintainer resumed on a *loaded* index
+        # must stay exact under further updates.
+        state = str(tmp_path / "state")
+        edges = edges_of(seed=4, n=14, m=30)
+        first, second = edges[:20], edges[20:]
+        with DurableMaintainer(state) as durable:
+            durable.apply([("insert", u, v) for u, v in first])
+            durable.checkpoint()
+        with DurableMaintainer(state) as durable:
+            durable.apply([("insert", u, v) for u, v in second])
+            durable.apply([("delete", u, v) for u, v in first[::4]])
+            remaining = [e for e in edges if e not in first[::4]]
+            assert durable.index.semantically_equal(from_scratch(remaining))
+
+    def test_skip_policy_counts_and_continues(self, tmp_path):
+        state = str(tmp_path / "state")
+        with DurableMaintainer(state, on_error="skip") as durable:
+            report = durable.apply(
+                [
+                    ("insert", 1, 2),
+                    ("insert", 1, 2),  # duplicate
+                    ("delete", 8, 9),  # never existed
+                    ("insert", 2, 3),
+                ]
+            )
+        assert report.applied == 2
+        assert report.skipped == 2
+
+    def test_fail_policy_raises_and_stays_consistent(self, tmp_path):
+        state = str(tmp_path / "state")
+        with DurableMaintainer(state, on_error=ErrorPolicy.FAIL) as durable:
+            with pytest.raises(EdgeNotFoundError):
+                durable.apply([("insert", 1, 2), ("delete", 5, 6)])
+        # the failed record was journaled but is skipped on recovery
+        with DurableMaintainer(state) as durable:
+            assert durable.index.semantically_equal(from_scratch([(1, 2)]))
+
+    def test_isolated_vertices_survive_checkpoints(self, tmp_path):
+        state = str(tmp_path / "state")
+        with DurableMaintainer(state) as durable:
+            durable.apply(
+                [("insert", 1, 2), ("insert", 2, 3), ("delete", 2, 3)]
+            )
+            durable.checkpoint()
+            n_before = durable.graph.num_vertices
+        with DurableMaintainer(state) as durable:
+            assert durable.graph.num_vertices == n_before
+            assert durable.graph.has_vertex(3)
+
+    def test_string_labels_round_trip(self, tmp_path):
+        state = str(tmp_path / "state")
+        ops = [("insert", "a", "b"), ("insert", "b", "c"), ("insert", "c", "a")]
+        with DurableMaintainer(state) as durable:
+            durable.apply(ops)
+            durable.checkpoint()
+        with DurableMaintainer(state) as durable:
+            assert sorted(durable.query(2, 1.0)) == ["a", "b", "c"]
+
+    def test_mixed_label_types_rejected_at_checkpoint(self, tmp_path):
+        state = str(tmp_path / "state")
+        with DurableMaintainer(state) as durable:
+            durable.apply([("insert", 1, "b")])
+            with pytest.raises(IndexPersistenceError):
+                durable.checkpoint()
+
+    def test_must_exist_refuses_fresh_directory(self, tmp_path):
+        with pytest.raises(IndexPersistenceError):
+            DurableMaintainer(str(tmp_path / "nope"), must_exist=True)
+
+    def test_checkpoint_every_validated(self, tmp_path):
+        with pytest.raises(ParameterError):
+            DurableMaintainer(str(tmp_path / "s"), checkpoint_every=0)
+
+    def test_journal_compaction_bounds_the_file(self, tmp_path):
+        state = str(tmp_path / "state")
+        with DurableMaintainer(state, checkpoint_every=5) as durable:
+            durable.apply([("insert", u, v) for u, v in edges_of(seed=5)])
+            durable.checkpoint()
+            journal = os.path.join(state, JOURNAL_NAME)
+            assert read_journal(journal) == []
+
+    def test_closed_maintainer_refuses_updates(self, tmp_path):
+        durable = DurableMaintainer(str(tmp_path / "state"))
+        durable.close()
+        with pytest.raises(IndexPersistenceError):
+            durable.insert_edge(1, 2)
+
+
+# ----------------------------------------------------------------------
+# fault injection: crashes mid-checkpoint, torn tails, corrupt files
+# ----------------------------------------------------------------------
+class _SimulatedCrash(Exception):
+    pass
+
+
+def _run_until_crash(state, edges, crash_stage, checkpoint_every=4):
+    """Insert edges with periodic checkpoints, crashing at ``crash_stage``
+    of the *second* checkpoint; returns how many edges were applied."""
+    seen = {"count": 0}
+
+    def hook(stage):
+        if stage == crash_stage:
+            seen["count"] += 1
+            if seen["count"] >= 2:
+                raise _SimulatedCrash(stage)
+
+    durable = DurableMaintainer(
+        state, checkpoint_every=checkpoint_every, fault_hook=hook
+    )
+    applied = 0
+    try:
+        report = durable.apply([("insert", u, v) for u, v in edges])
+        applied = report.applied
+    except _SimulatedCrash:
+        applied = durable.stats.applied
+    # no close(): the "process" died
+    return applied
+
+
+class TestCrashRecovery:
+    @pytest.mark.parametrize(
+        "stage",
+        [
+            "journal-committed",
+            "graph-written",
+            "index-written",
+            "before-manifest",
+            "manifest-written",
+        ],
+    )
+    def test_crash_mid_checkpoint_recovers_exactly(self, tmp_path, stage):
+        state = str(tmp_path / "state")
+        edges = edges_of(seed=11)
+        applied = _run_until_crash(state, edges, stage)
+        assert 0 < applied < len(edges)  # the stream was partially applied
+        with DurableMaintainer(state) as durable:
+            assert durable.recovery is not None
+            assert durable.index.semantically_equal(
+                from_scratch(edges[:applied])
+            )
+            # ... and the recovered service keeps working
+            durable.apply([("insert", u, v) for u, v in edges[applied:]])
+            assert durable.index.semantically_equal(from_scratch(edges))
+
+    def test_crash_with_torn_journal_tail(self, tmp_path):
+        state = str(tmp_path / "state")
+        edges = edges_of(seed=12)
+        applied = _run_until_crash(state, edges, "before-manifest")
+        with open(os.path.join(state, JOURNAL_NAME), "a") as handle:
+            handle.write('{"op":"insert","u":')  # torn mid-append
+        with DurableMaintainer(state) as durable:
+            assert durable.index.semantically_equal(
+                from_scratch(edges[:applied])
+            )
+
+    def test_recovery_replays_only_the_tail(self, tmp_path):
+        state = str(tmp_path / "state")
+        edges = edges_of(seed=13)
+        applied = _run_until_crash(state, edges, "before-manifest")
+        durable = DurableMaintainer(state)
+        recovery = durable.recovery
+        durable.close()
+        assert recovery is not None
+        # fewer records replayed than total applied: the checkpoint held
+        assert 0 < recovery.replayed < applied
+
+    def test_corrupt_manifest_raises_typed_error(self, tmp_path):
+        state = str(tmp_path / "state")
+        with DurableMaintainer(state) as durable:
+            durable.apply([("insert", 1, 2)])
+            durable.checkpoint()
+        with open(os.path.join(state, MANIFEST_NAME), "w") as handle:
+            handle.write('{"format_version": ')
+        with pytest.raises(IndexPersistenceError):
+            DurableMaintainer(state)
+
+    def test_tampered_index_checksum_detected(self, tmp_path):
+        state = str(tmp_path / "state")
+        with DurableMaintainer(state) as durable:
+            durable.apply([("insert", u, v) for u, v in edges_of(seed=14)])
+            durable.checkpoint()
+        manifest = json.load(open(os.path.join(state, MANIFEST_NAME)))
+        index_path = os.path.join(state, manifest["index"])
+        document = json.load(open(index_path))
+        document["payload"]["num_edges"] += 1  # bit-flip the payload
+        with open(index_path, "w") as handle:
+            json.dump(document, handle)
+        with pytest.raises(IndexPersistenceError):
+            DurableMaintainer(state)
+
+    def test_fingerprint_mismatch_detected(self, tmp_path):
+        state = str(tmp_path / "state")
+        with DurableMaintainer(state) as durable:
+            durable.apply([("insert", u, v) for u, v in edges_of(seed=15)])
+            durable.checkpoint()
+        manifest = json.load(open(os.path.join(state, MANIFEST_NAME)))
+        graph_path = os.path.join(state, manifest["graph"])
+        with open(graph_path, "a") as handle:
+            handle.write("998 999\n")  # edge the index never saw
+        with pytest.raises(IndexPersistenceError):
+            DurableMaintainer(state)
+
+
+# ----------------------------------------------------------------------
+# service observability counters
+# ----------------------------------------------------------------------
+class TestServiceCounters:
+    def test_counters_recorded_when_collecting(self, tmp_path):
+        from repro.obs import collecting
+
+        state = str(tmp_path / "state")
+        edges = edges_of(seed=16)
+        with collecting() as metrics:
+            with DurableMaintainer(state, checkpoint_every=10) as durable:
+                durable.apply([("insert", u, v) for u, v in edges])
+                durable.checkpoint()
+            with DurableMaintainer(state) as durable:
+                pass
+        snapshot = metrics.snapshot()
+        assert snapshot.counter("service.journal_records") == len(edges)
+        assert snapshot.counter("service.checkpoints") >= 2
+        assert snapshot.counter("service.recoveries") == 1
+
+    def test_counters_are_catalogued(self):
+        from repro.obs.names import COUNTERS
+
+        for name in (
+            "service.checkpoints",
+            "service.journal_records",
+            "service.replayed",
+            "service.recoveries",
+        ):
+            assert name in COUNTERS
+
+
+# ----------------------------------------------------------------------
+# graph fingerprints
+# ----------------------------------------------------------------------
+class TestGraphFingerprint:
+    def test_insertion_order_does_not_matter(self):
+        edges = edges_of(seed=17)
+        a = graph_fingerprint(Graph(edges))
+        b = graph_fingerprint(Graph(list(reversed(edges))))
+        assert a == b
+
+    def test_orientation_does_not_matter(self):
+        a = graph_fingerprint(Graph([(1, 2), (2, 3)]))
+        b = graph_fingerprint(Graph([(2, 1), (3, 2)]))
+        assert a == b
+
+    def test_different_edges_differ(self):
+        a = graph_fingerprint(Graph([(1, 2), (2, 3)]))
+        b = graph_fingerprint(Graph([(1, 2), (2, 4)]))
+        assert a != b
+
+    def test_label_types_are_distinguished(self):
+        a = graph_fingerprint(Graph([(1, 2)]))
+        b = graph_fingerprint(Graph([("1", "2")]))
+        assert a.edge_hash != b.edge_hash
+
+    def test_dict_round_trip_and_matches(self):
+        from repro.graph.fingerprint import GraphFingerprint
+
+        g = Graph(edges_of(seed=18))
+        fp = graph_fingerprint(g)
+        again = GraphFingerprint.from_dict(fp.to_dict())
+        assert again == fp
+        assert again.matches(g)
+        g.add_edge(997, 998)
+        assert not again.matches(g)
