@@ -1,0 +1,106 @@
+"""Record the serving baseline into ``BENCH_serve.json``.
+
+Standalone script (not a pytest-benchmark case): it runs the seeded
+serve-bench workload across cache-on/cache-off and a thread sweep, plus
+the sequential differential audit (every answer set compared against the
+naive fixpoint on a mirror graph), and writes the committed baseline
+file future serving PRs compare against.
+
+Run from the repository root::
+
+    PYTHONPATH=src python benchmarks/bench_serve.py
+
+The committed file must show ``"stale_serves": 0`` in every audit entry
+and a cache hit-rate > 0 on the default workload — the acceptance bar of
+the serving layer (see docs/serving.md).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import tempfile
+from typing import Sequence
+
+from repro.bench.serving import run_differential_probes, run_serve_bench
+
+__all__ = ["main", "record_serving_baseline"]
+
+#: Mixed read-heavy workload: most updates hit low-core endpoints of a
+#: sparse random graph, so Thms. 2/6/7 leave most A_k versions alone and
+#: the cache keeps serving across them.
+DEFAULT_SPEC = (
+    "ops=600,query=8,insert=1,delete=1,vertices=60,kmax=6,plevels=10,prefill=90"
+)
+
+
+def record_serving_baseline(
+    spec: str = DEFAULT_SPEC,
+    seed: int = 7,
+    thread_counts: Sequence[int] = (1, 2, 4),
+) -> dict[str, object]:
+    """Throughput entries per (cache, threads) plus the audit entries."""
+    entries: list[dict[str, object]] = []
+    for cache in (True, False):
+        for threads in thread_counts:
+            with tempfile.TemporaryDirectory(prefix="repro-bench-") as tmp:
+                entries.append(
+                    run_serve_bench(
+                        os.path.join(tmp, "state"),
+                        spec=spec,
+                        seed=seed,
+                        threads=threads,
+                        cache=cache,
+                    )
+                )
+    audits = [
+        run_differential_probes(spec=spec, seed=seed, cache=cache, probe_every=1)
+        for cache in (True, False)
+    ]
+    return {
+        "spec": spec,
+        "seed": seed,
+        "python": platform.python_version(),
+        "cpus": os.cpu_count(),
+        "entries": entries,
+        "audits": audits,
+    }
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--spec", default=DEFAULT_SPEC)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument(
+        "--threads", type=int, nargs="+", default=[1, 2, 4], metavar="N"
+    )
+    parser.add_argument("--out", default="BENCH_serve.json", metavar="FILE")
+    args = parser.parse_args(argv)
+    baseline = record_serving_baseline(
+        spec=args.spec, seed=args.seed, thread_counts=args.threads
+    )
+    stale = sum(int(audit["stale_serves"]) for audit in baseline["audits"])
+    cached_entries = [
+        entry for entry in baseline["entries"] if entry["cache"]
+    ]
+    hit_rates = [
+        entry["cache_stats"]["hit_rate"] for entry in cached_entries
+    ]
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(baseline, handle, indent=2)
+        handle.write("\n")
+    print(f"wrote {args.out}")
+    print(f"stale_serves total: {stale} (must be 0)")
+    print(f"cache hit rates (threaded runs): {hit_rates}")
+    if stale:
+        return 1
+    if not any(rate > 0 for rate in hit_rates):
+        print("error: cache hit-rate is 0 on every cached run")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

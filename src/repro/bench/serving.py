@@ -1,0 +1,218 @@
+"""Serving benchmark drivers: threaded throughput and differential soak.
+
+Two entry points, shared by ``python -m repro index serve-bench`` and the
+``benchmarks/bench_serve.py`` recorder:
+
+* :func:`run_serve_bench` — the throughput/latency phase.  A seeded
+  workload (:mod:`repro.service.workload`) is split into its query and
+  update streams; ``threads`` reader threads hammer the queries through
+  :meth:`~repro.service.server.KPCoreServer.query_many` while the main
+  thread applies the update stream in journaled batches.  Reports
+  queries/second, latency percentiles, and the cache counters.
+* :func:`run_differential_probes` — the correctness phase.  The same
+  workload is replayed single-threaded against a throwaway server while
+  a mirror :class:`~repro.graph.adjacency.Graph` tracks the updates;
+  every ``probe_every``-th query is checked (as a set) against
+  :func:`~repro.core.naive.naive_kp_core_vertices` on the mirror.  Any
+  mismatch is a **stale-serve incident** — the number the committed
+  ``BENCH_serve.json`` must show as zero.
+
+Both drivers work on small synthetic workloads by design: the point is
+the serving machinery (locking, cache versioning), not graph scale.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+import threading
+import time
+from typing import Sequence
+
+from repro.errors import ParameterError
+from repro.graph.adjacency import Graph
+from repro.core.naive import naive_kp_core_vertices
+from repro.service.durable import DurableMaintainer
+from repro.service.server import DEFAULT_CACHE_SIZE, KPCoreServer
+from repro.service.workload import (
+    WorkloadSpec,
+    generate_workload,
+    split_workload,
+)
+
+__all__ = ["run_serve_bench", "run_differential_probes", "percentile"]
+
+
+def percentile(sorted_values: Sequence[float], q: float) -> float:
+    """The ``q``-quantile (0..1) of an ascending-sorted sample."""
+    if not sorted_values:
+        return 0.0
+    if not 0.0 <= q <= 1.0:
+        raise ParameterError(f"quantile must be in [0, 1], got {q}")
+    index = min(len(sorted_values) - 1, int(q * len(sorted_values)))
+    return sorted_values[index]
+
+
+def _reader(
+    server: KPCoreServer,
+    pairs: list[tuple[int, float]],
+    batch: int,
+    latencies: list[float],
+    errors: list[BaseException],
+    start: threading.Event,
+) -> None:
+    start.wait()
+    try:
+        for i in range(0, len(pairs), batch):
+            chunk = pairs[i : i + batch]
+            t0 = time.perf_counter()
+            server.query_many(chunk)
+            elapsed = time.perf_counter() - t0
+            # Attribute the batch latency evenly; percentiles stay in
+            # per-query units either way.
+            latencies.extend([elapsed / len(chunk)] * len(chunk))
+    except BaseException as error:  # pragma: no cover - surfaced by caller
+        errors.append(error)
+
+
+def run_serve_bench(
+    directory: str,
+    spec: WorkloadSpec | str = "",
+    seed: int = 0,
+    threads: int = 2,
+    cache: bool = True,
+    cache_size: int = DEFAULT_CACHE_SIZE,
+    query_batch: int = 8,
+    update_batch: int = 8,
+    checkpoint_every: int = 10_000,
+) -> dict[str, object]:
+    """Throughput/latency measurement of one server configuration.
+
+    ``directory`` is the durable state directory (fresh directories start
+    from the empty graph and are populated by the workload's prefill
+    inserts).  Returns a JSON-friendly result dict.
+    """
+    if threads < 1:
+        raise ParameterError(f"threads must be >= 1, got {threads}")
+    if isinstance(spec, str):
+        spec = WorkloadSpec.parse(spec)
+    ops = generate_workload(spec, seed)
+    queries, updates = split_workload(ops)
+    per_thread: list[list[tuple[int, float]]] = [[] for _ in range(threads)]
+    for i, pair in enumerate(queries):
+        per_thread[i % threads].append(pair)
+
+    durable = DurableMaintainer(directory, checkpoint_every=checkpoint_every)
+    latencies: list[float] = []
+    errors: list[BaseException] = []
+    start = threading.Event()
+    with KPCoreServer(
+        durable, cache_size=cache_size, cache_enabled=cache
+    ) as server:
+        workers = [
+            threading.Thread(
+                target=_reader,
+                args=(server, pairs, query_batch, latencies, errors, start),
+                name=f"serve-bench-reader-{i}",
+            )
+            for i, pairs in enumerate(per_thread)
+            if pairs
+        ]
+        for worker in workers:
+            worker.start()
+        t0 = time.perf_counter()
+        start.set()
+        for i in range(0, len(updates), update_batch):
+            server.apply(updates[i : i + update_batch])
+        for worker in workers:
+            worker.join()
+        elapsed = time.perf_counter() - t0
+        stats = server.cache_stats()
+    if errors:
+        raise errors[0]
+
+    latencies.sort()
+    return {
+        "spec": spec.to_string(),
+        "seed": seed,
+        "threads": threads,
+        "cache": cache,
+        "cache_size": cache_size if cache else 0,
+        "queries": len(queries),
+        "updates": len(updates),
+        "elapsed_s": round(elapsed, 4),
+        "qps": round(len(queries) / elapsed, 1) if elapsed > 0 else 0.0,
+        "latency_ms": {
+            "p50": round(percentile(latencies, 0.50) * 1e3, 4),
+            "p95": round(percentile(latencies, 0.95) * 1e3, 4),
+            "p99": round(percentile(latencies, 0.99) * 1e3, 4),
+            "max": round(latencies[-1] * 1e3, 4) if latencies else 0.0,
+        },
+        "cache_stats": {
+            "hits": stats.hits,
+            "misses": stats.misses,
+            "invalidations": stats.invalidations,
+            "evictions": stats.evictions,
+            "hit_rate": round(stats.hit_rate, 4),
+        },
+    }
+
+
+def run_differential_probes(
+    spec: WorkloadSpec | str = "",
+    seed: int = 0,
+    cache: bool = True,
+    cache_size: int = DEFAULT_CACHE_SIZE,
+    probe_every: int = 1,
+) -> dict[str, object]:
+    """Replay a workload sequentially, auditing answers against naive.
+
+    Returns probe/stale counts plus the cache stats of the run.  Uses a
+    throwaway temporary state directory.
+    """
+    if probe_every < 1:
+        raise ParameterError(f"probe_every must be >= 1, got {probe_every}")
+    if isinstance(spec, str):
+        spec = WorkloadSpec.parse(spec)
+    ops = generate_workload(spec, seed)
+    mirror = Graph()
+    probes = 0
+    stale = 0
+    seen_queries = 0
+    with tempfile.TemporaryDirectory(prefix="repro-serve-") as tmp:
+        durable = DurableMaintainer(
+            os.path.join(tmp, "state"), checkpoint_every=10_000
+        )
+        with KPCoreServer(
+            durable, cache_size=cache_size, cache_enabled=cache
+        ) as server:
+            for op in ops:
+                if op[0] == "query":
+                    _, k, p = op
+                    answer = set(server.query(k, p))
+                    seen_queries += 1
+                    if seen_queries % probe_every == 0:
+                        probes += 1
+                        if answer != naive_kp_core_vertices(mirror, k, p):
+                            stale += 1
+                elif op[0] == "insert":
+                    server.insert_edge(op[1], op[2])
+                    mirror.add_edge(op[1], op[2])
+                else:
+                    server.delete_edge(op[1], op[2])
+                    mirror.remove_edge(op[1], op[2])
+            stats = server.cache_stats()
+    return {
+        "spec": spec.to_string(),
+        "seed": seed,
+        "cache": cache,
+        "probes": probes,
+        "stale_serves": stale,
+        "cache_stats": {
+            "hits": stats.hits,
+            "misses": stats.misses,
+            "invalidations": stats.invalidations,
+            "evictions": stats.evictions,
+            "hit_rate": round(stats.hit_rate, 4),
+        },
+    }

@@ -11,6 +11,9 @@ Glue for using the library without writing Python:
   edge-update stream (write-ahead journal + periodic checkpoints),
 * ``index recover DIR``         — recover a durable index after a crash
   and absorb the journal tail into a fresh checkpoint,
+* ``index serve-bench DIR --workload SPEC --threads N --seed S`` — run a
+  seeded query/update workload against the concurrent ``KPCoreServer``
+  and report throughput, latency percentiles, and cache counters,
 * ``dataset NAME [-o F]``   — materialize a synthetic stand-in,
 * ``report EXPERIMENT``     — print one table/figure reproduction
   (``table2``, ``fig6`` … ``fig16``, ``ablation``),
@@ -182,6 +185,51 @@ def _cmd_index_recover(args: argparse.Namespace) -> int:
               f"replayed {recovery.replayed} journal records "
               f"({recovery.skipped} skipped), journal tail absorbed")
         _print_durable_summary(durable)
+    return 0
+
+
+def _cmd_index_serve_bench(args: argparse.Namespace) -> int:
+    from repro.bench.serving import run_differential_probes, run_serve_bench
+
+    result = run_serve_bench(
+        args.dir,
+        spec=args.workload,
+        seed=args.seed,
+        threads=args.threads,
+        cache=not args.no_cache,
+        cache_size=args.cache_size,
+    )
+    latency = result["latency_ms"]
+    cache_stats = result["cache_stats"]
+    print(f"workload: {result['spec']} (seed {result['seed']})")
+    print(f"threads {result['threads']}  cache "
+          f"{'on' if result['cache'] else 'off'}  "
+          f"queries {result['queries']}  updates {result['updates']}")
+    print(f"elapsed {result['elapsed_s']}s  throughput {result['qps']} q/s")
+    print(f"latency ms  p50={latency['p50']}  p95={latency['p95']}  "
+          f"p99={latency['p99']}  max={latency['max']}")
+    print(f"cache  hits={cache_stats['hits']}  misses={cache_stats['misses']}  "
+          f"invalidations={cache_stats['invalidations']}  "
+          f"evictions={cache_stats['evictions']}  "
+          f"hit_rate={cache_stats['hit_rate']}")
+    if args.probe_every:
+        probe = run_differential_probes(
+            spec=args.workload,
+            seed=args.seed,
+            cache=not args.no_cache,
+            cache_size=args.cache_size,
+            probe_every=args.probe_every,
+        )
+        result["probes"] = probe["probes"]
+        result["stale_serves"] = probe["stale_serves"]
+        print(f"probes {probe['probes']}  stale_serves "
+              f"{probe['stale_serves']} (vs naive fixpoint)")
+    if args.json:
+        import json as json_module
+
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json_module.dump(result, handle, indent=2)
+        print(f"wrote {args.json}")
     return 0
 
 
@@ -375,6 +423,50 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_recover.add_argument("dir")
     p_recover.set_defaults(func=_cmd_index_recover)
+    p_serve = index_sub.add_parser(
+        "serve-bench",
+        help="benchmark the concurrent query server on a seeded workload",
+        description="Generates a deterministic query/insert/delete "
+        "workload (repro.service.workload), serves the queries from N "
+        "reader threads through the KPCoreServer result cache while the "
+        "update stream applies under the write lock, and reports "
+        "throughput, latency percentiles, and cache counters. With "
+        "--probe-every, additionally replays the workload sequentially "
+        "and audits every Nth answer against the naive fixpoint "
+        "(stale-serve detection).",
+    )
+    p_serve.add_argument("dir")
+    p_serve.add_argument(
+        "--workload", default="", metavar="SPEC",
+        help="workload spec, e.g. 'ops=400,query=8,insert=1,delete=1,"
+        "vertices=60,kmax=6' (empty = defaults)",
+    )
+    p_serve.add_argument(
+        "--threads", type=int, default=2, metavar="N",
+        help="reader threads (default: %(default)s)",
+    )
+    p_serve.add_argument(
+        "--seed", type=int, default=0, metavar="S",
+        help="workload seed (default: %(default)s)",
+    )
+    p_serve.add_argument(
+        "--no-cache", action="store_true",
+        help="serve every query straight from Algorithm 3",
+    )
+    p_serve.add_argument(
+        "--cache-size", type=int, default=4096, metavar="N",
+        help="result cache capacity (default: %(default)s)",
+    )
+    p_serve.add_argument(
+        "--probe-every", type=int, default=0, metavar="N",
+        help="also audit every Nth query against the naive fixpoint "
+        "(0 = skip the audit phase)",
+    )
+    p_serve.add_argument(
+        "--json", metavar="FILE",
+        help="also write the result record as JSON",
+    )
+    p_serve.set_defaults(func=_cmd_index_serve_bench)
 
     p_data = sub.add_parser("dataset", help="materialize a synthetic dataset")
     p_data.add_argument("name")

@@ -248,6 +248,13 @@ class KPIndex:
         #: Fingerprint of the source graph carried by a v2 snapshot, if
         #: the index was loaded from (or saved with) one.
         self.fingerprint: GraphFingerprint | None = None
+        # Per-k monotonic modification counters (k -> version, absent = 0).
+        # The maintenance layer bumps a k exactly when it mutates A_k, so
+        # an unchanged version certifies that every (k, p) answer is still
+        # valid — the invalidation oracle behind the result cache in
+        # :mod:`repro.service.server`.  Versions are in-memory state: they
+        # are not persisted and restart at 0 on load.
+        self._versions: dict[int, int] = {}
 
     # ------------------------------------------------------------------
     @classmethod
@@ -282,6 +289,31 @@ class KPIndex:
     def adjust_num_edges(self, delta: int) -> None:
         """Keep the Lemma 1 edge count current under maintenance."""
         self._num_edges += delta
+
+    # ------------------------------------------------------------------
+    # per-array versions (cache-invalidation oracle)
+    # ------------------------------------------------------------------
+    def version(self, k: int) -> int:
+        """Modification counter of ``A_k`` (0 while never mutated).
+
+        Defined for every ``k >= 1``, including values with no array yet:
+        a later update can create ``A_k``, and that creation bumps the
+        version, so ``(k, p, version)``-keyed cache entries for "no such
+        core" answers invalidate correctly too.
+        """
+        if k < 1:
+            raise ParameterError(f"degree threshold k must be >= 1, got {k}")
+        return self._versions.get(k, 0)
+
+    def bump_version(self, k: int) -> int:
+        """Record a mutation of ``A_k``; returns the new version."""
+        version = self._versions.get(k, 0) + 1
+        self._versions[k] = version
+        return version
+
+    def versions(self) -> dict[int, int]:
+        """Snapshot of every non-zero per-k version (k -> version)."""
+        return dict(self._versions)
 
     def query(self, k: int, p: float) -> list[Vertex]:
         """Vertex set of ``C_{k,p}(G)`` — Algorithm 3 (kpCoreQuery).

@@ -199,6 +199,7 @@ class KPIndexMaintainer:
             array.vertices = [w for w in array.vertices if w != v]
             array.p_numbers = [1.0] * len(array.vertices)
             array._rebuild_levels()
+            self.index.bump_version(1)
 
     def apply_updates(
         self,
@@ -439,6 +440,7 @@ class KPIndexMaintainer:
                 changed = True
         if changed:
             array._rebuild_levels()
+            self.index.bump_version(1)
 
     def _update_a1_after_delete(self, u: Vertex, v: Vertex) -> None:
         isolated = [w for w in (u, v) if self.graph.degree(w) == 0]
@@ -446,9 +448,12 @@ class KPIndexMaintainer:
             return
         array = self._ensure_array(1)
         drop = set(isolated)
+        before = len(array.vertices)
         array.vertices = [w for w in array.vertices if w not in drop]
         array.p_numbers = [1.0] * len(array.vertices)
         array._rebuild_levels()
+        if len(array.vertices) != before:
+            self.index.bump_version(1)
 
     # ------------------------------------------------------------------
     # internals
@@ -473,6 +478,9 @@ class KPIndexMaintainer:
         if array is None:
             array = KArray(k=k, vertices=[], p_numbers=[])
             arrays[k] = array
+            # Creation is a mutation: a cached "no A_k" answer may now be
+            # wrong, so the version oracle must move past it.
+            self.index.bump_version(k)
         return array
 
     def _current_members(
@@ -504,6 +512,10 @@ class KPIndexMaintainer:
         the window instead of |V_k|.
         """
         k = array.k
+        # Bump before touching the array: even an exceptional exit below
+        # may leave A_k mutated, and a conservative bump only costs cache
+        # entries — it can never let a stale answer survive.
+        self.index.bump_version(k)
         if members is None:
             start = bisect_left(array.p_numbers, p_minus)
             tail_source = array.vertices[start:]

@@ -101,6 +101,16 @@ SERVICE_REPLAYED = "service.replayed"
 SERVICE_RECOVERIES = "service.recoveries"
 
 # ----------------------------------------------------------------------
+# concurrent query server (repro.service.server) — versioned result cache
+# ----------------------------------------------------------------------
+SERVER_QUERIES = "service.server.queries"
+SERVER_CACHE_HITS = "service.cache.hits"
+SERVER_CACHE_MISSES = "service.cache.misses"
+SERVER_CACHE_INVALIDATIONS = "service.cache.invalidations"
+SERVER_CACHE_EVICTIONS = "service.cache.evictions"
+SERVER_BATCH_SIZE = "service.server.batch_size"
+
+# ----------------------------------------------------------------------
 # incremental core maintenance (repro.kcore.maintenance /
 # repro.kcore.order_maintenance)
 # ----------------------------------------------------------------------
@@ -153,6 +163,11 @@ COUNTERS: dict[str, str] = {
     SERVICE_JOURNAL_RECORDS: "write-ahead journal records appended",
     SERVICE_REPLAYED: "journal records replayed during recovery",
     SERVICE_RECOVERIES: "recoveries from persisted state (checkpoint and/or journal)",
+    SERVER_QUERIES: "queries answered by the concurrent server (cached or not)",
+    SERVER_CACHE_HITS: "server queries served from the versioned result cache",
+    SERVER_CACHE_MISSES: "server queries that had to run Algorithm 3",
+    SERVER_CACHE_INVALIDATIONS: "cache entries dropped because their A_k version moved",
+    SERVER_CACHE_EVICTIONS: "cache entries evicted by the LRU capacity bound",
     KCORE_MAINT_PROMOTED: "vertices whose core number rose by an insert",
     KCORE_MAINT_DEMOTED: "vertices whose core number fell by a delete",
     KORDER_LEVELS_REBUILT: "k-order levels rebuilt after a core change",
@@ -168,6 +183,7 @@ HISTOGRAMS: dict[str, str] = {
     MAINT_WINDOW_P_PLUS: "window upper ends p_+ (Defs. 5-7 bounds)",
     INDEX_ANSWER_SIZE: "per-query answer sizes (Theorem 1 output bound)",
     INDEX_LEVELS_SEARCHED: "|P_k| binary-searched per query",
+    SERVER_BATCH_SIZE: "queries per query_many batch on the concurrent server",
     KCORE_MAINT_SUBCORE_SIZE: "subcore sizes walked per core update",
     KORDER_CHAIN_LENGTH: "forward-walk chain lengths per order insert",
 }

@@ -11,7 +11,15 @@ process*:
 * :mod:`~repro.service.durable` — :class:`~repro.service.durable.
   DurableMaintainer`: periodic atomic checkpoints (graph edge list +
   v2 index snapshot + manifest), write-ahead journaling of every update,
-  and crash recovery by checkpoint-load + journal-tail replay.
+  and crash recovery by checkpoint-load + journal-tail replay,
+* :mod:`~repro.service.server` — :class:`~repro.service.server.
+  KPCoreServer`: thread-safe concurrent query serving over a
+  ``DurableMaintainer`` with a reader-writer lock and an LRU result
+  cache keyed by per-``A_k`` version counters (the Thm. 2/6/7 skip
+  logic doubling as the invalidation oracle),
+* :mod:`~repro.service.workload` — seeded deterministic mixed
+  query/insert/delete workloads for soak tests and ``python -m repro
+  index serve-bench``.
 
 Full rebuilds (O(m) Batagelj-Zaveršnik + Algorithm 2) stay the last
 resort: recovery replays only the journal tail on top of the last good
@@ -31,10 +39,30 @@ from repro.service.journal import (
     UpdateJournal,
     read_journal,
 )
+from repro.service.server import (
+    DEFAULT_CACHE_SIZE,
+    CacheStats,
+    KPCoreServer,
+    QueryCache,
+    RWLock,
+)
 from repro.service.stream import iter_update_stream, read_update_stream
+from repro.service.workload import (
+    WorkloadSpec,
+    generate_workload,
+    split_workload,
+)
 
 __all__ = [
     "DurableMaintainer",
+    "KPCoreServer",
+    "QueryCache",
+    "CacheStats",
+    "RWLock",
+    "DEFAULT_CACHE_SIZE",
+    "WorkloadSpec",
+    "generate_workload",
+    "split_workload",
     "ApplyReport",
     "ErrorPolicy",
     "RecoveryReport",

@@ -1,0 +1,455 @@
+"""Concurrent query serving with a version-keyed result cache.
+
+:class:`KPCoreServer` turns a :class:`~repro.service.durable.
+DurableMaintainer` into a thread-safe serving surface:
+
+* **Reader-writer lock** — any number of query threads proceed
+  concurrently; :meth:`apply` / :meth:`insert_edge` / :meth:`delete_edge`
+  / :meth:`checkpoint` take exclusive access.  The lock is
+  writer-preferring so a steady query stream cannot starve updates.
+* **Versioned result cache** — every ``A_k`` carries a monotonic version
+  counter (see :meth:`~repro.core.index.KPIndex.version`) that the
+  maintenance layer bumps exactly when it mutates the array.  Answers
+  are cached under ``(k, p)`` together with the version they were
+  computed at; the theorem-driven skip logic of Algorithms 4/5 (Thms.
+  2, 6, 7) therefore doubles as the cache-invalidation oracle: an update
+  that provably leaves ``A_k`` untouched leaves its cached answers
+  serving.  After each write the server eagerly purges every entry whose
+  version moved, so the cache never *holds* a stale answer, not merely
+  never serves one.
+* **Batch queries** — :meth:`query_many` answers a list of ``(k, p)``
+  pairs under a single read-lock acquisition.
+
+Consistency guarantees under concurrency:
+
+* A query observes the index state at some write boundary (reads hold
+  the read lock across version capture, compute, and cache fill — no
+  torn answers).
+* A cached entry is served only while ``entry.version ==
+  index.version(k)``; both are read under the same read lock.
+
+The cache is in-memory state of the server, not of the durable
+directory: restarts begin cold (and versions restart at 0, which is
+consistent because the cache restarts empty too).  Metric collection
+(``REPRO_OBS=1``) records ``service.cache.hits`` / ``.misses`` /
+``.invalidations`` / ``.evictions`` and ``service.server.queries``;
+see ``docs/serving.md`` and ``docs/observability.md``.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+from repro.errors import ParameterError
+from repro.graph.adjacency import Vertex
+from repro.core.index import KPIndex
+from repro.core.pvalue import check_p
+from repro.obs import names as metric
+from repro.obs.instrumentation import get_collector
+from repro.service.durable import ApplyReport, DurableMaintainer
+from repro.service.stream import UpdateOp
+
+__all__ = [
+    "RWLock",
+    "CacheStats",
+    "QueryCache",
+    "KPCoreServer",
+    "DEFAULT_CACHE_SIZE",
+]
+
+DEFAULT_CACHE_SIZE = 4096
+
+
+class RWLock:
+    """A writer-preferring readers-writer lock.
+
+    Many readers may hold the lock at once; a writer waits for active
+    readers to drain and blocks new readers while it waits (otherwise a
+    busy query stream would starve updates forever).  Not reentrant: a
+    thread must not acquire the write lock while holding the read lock
+    (or vice versa).
+    """
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._readers = 0
+        self._writer_active = False
+        self._writers_waiting = 0
+
+    @contextmanager
+    def read_locked(self) -> Iterator[None]:
+        with self._cond:
+            while self._writer_active or self._writers_waiting:
+                self._cond.wait()
+            self._readers += 1
+        try:
+            yield
+        finally:
+            with self._cond:
+                self._readers -= 1
+                if self._readers == 0:
+                    self._cond.notify_all()
+
+    @contextmanager
+    def write_locked(self) -> Iterator[None]:
+        with self._cond:
+            self._writers_waiting += 1
+            try:
+                while self._writer_active or self._readers:
+                    self._cond.wait()
+            finally:
+                self._writers_waiting -= 1
+            self._writer_active = True
+        try:
+            yield
+        finally:
+            with self._cond:
+                self._writer_active = False
+                self._cond.notify_all()
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Counters of one :class:`QueryCache` (and so of its server)."""
+
+    hits: int
+    misses: int
+    invalidations: int
+    evictions: int
+    size: int
+    capacity: int
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        lookups = self.lookups
+        return self.hits / lookups if lookups else 0.0
+
+
+class QueryCache:
+    """LRU cache of query answers keyed ``(k, p)``, guarded by versions.
+
+    Each entry stores the ``A_k`` version it was computed at.  A lookup
+    hits only when the stored version equals the current one; a lookup
+    that finds an outdated entry drops it (counted as an invalidation)
+    and reports a miss.  :meth:`purge_k` drops every entry of one ``k``
+    — the eager path the server runs for each array an update actually
+    mutated.  All operations take the internal mutex, so concurrent
+    readers may share one cache (the LRU reordering is a mutation even
+    on the hit path).
+    """
+
+    def __init__(self, capacity: int = DEFAULT_CACHE_SIZE) -> None:
+        if capacity < 1:
+            raise ParameterError(
+                f"cache capacity must be >= 1, got {capacity}"
+            )
+        self.capacity = capacity
+        self._mutex = threading.Lock()
+        # (k, p) -> (version, answer); insertion order = LRU order.
+        self._entries: OrderedDict[
+            tuple[int, float], tuple[int, tuple[Vertex, ...]]
+        ] = OrderedDict()
+        # k -> set of cached p values, for O(|entries of k|) purges.
+        self._by_k: dict[int, set[float]] = {}
+        self.hits = 0
+        self.misses = 0
+        self.invalidations = 0
+        self.evictions = 0
+
+    def get(
+        self, k: int, p: float, version: int
+    ) -> tuple[Vertex, ...] | None:
+        """The cached answer for ``(k, p)`` at exactly ``version``."""
+        obs = get_collector()
+        with self._mutex:
+            entry = self._entries.get((k, p))
+            if entry is not None and entry[0] == version:
+                self._entries.move_to_end((k, p))
+                self.hits += 1
+                if obs is not None:
+                    obs.inc(metric.SERVER_CACHE_HITS)
+                return entry[1]
+            if entry is not None:
+                # Outdated leftover (the eager purge runs under the write
+                # lock, so this is only reachable through direct cache
+                # use); drop it rather than let it linger.
+                self._drop(k, p)
+                self.invalidations += 1
+                if obs is not None:
+                    obs.inc(metric.SERVER_CACHE_INVALIDATIONS)
+            self.misses += 1
+            if obs is not None:
+                obs.inc(metric.SERVER_CACHE_MISSES)
+            return None
+
+    def put(
+        self, k: int, p: float, version: int, answer: tuple[Vertex, ...]
+    ) -> None:
+        obs = get_collector()
+        with self._mutex:
+            key = (k, p)
+            if key in self._entries:
+                self._entries.move_to_end(key)
+            self._entries[key] = (version, answer)
+            self._by_k.setdefault(k, set()).add(p)
+            while len(self._entries) > self.capacity:
+                (old_k, old_p), _ = self._entries.popitem(last=False)
+                self._discard_by_k(old_k, old_p)
+                self.evictions += 1
+                if obs is not None:
+                    obs.inc(metric.SERVER_CACHE_EVICTIONS)
+
+    def purge_k(self, k: int) -> int:
+        """Drop every entry of ``k``; returns how many were dropped."""
+        obs = get_collector()
+        with self._mutex:
+            ps = self._by_k.pop(k, None)
+            if not ps:
+                return 0
+            for p in ps:
+                self._entries.pop((k, p), None)
+            dropped = len(ps)
+            self.invalidations += dropped
+            if obs is not None:
+                obs.add(metric.SERVER_CACHE_INVALIDATIONS, dropped)
+            return dropped
+
+    def clear(self) -> None:
+        with self._mutex:
+            self._entries.clear()
+            self._by_k.clear()
+
+    def _drop(self, k: int, p: float) -> None:
+        self._entries.pop((k, p), None)
+        self._discard_by_k(k, p)
+
+    def _discard_by_k(self, k: int, p: float) -> None:
+        ps = self._by_k.get(k)
+        if ps is not None:
+            ps.discard(p)
+            if not ps:
+                del self._by_k[k]
+
+    def contents(self) -> dict[tuple[int, float], int]:
+        """``{(k, p): version}`` of everything cached (tests/debugging)."""
+        with self._mutex:
+            return {key: entry[0] for key, entry in self._entries.items()}
+
+    def stats(self) -> CacheStats:
+        with self._mutex:
+            return CacheStats(
+                hits=self.hits,
+                misses=self.misses,
+                invalidations=self.invalidations,
+                evictions=self.evictions,
+                size=len(self._entries),
+                capacity=self.capacity,
+            )
+
+    def __len__(self) -> int:
+        with self._mutex:
+            return len(self._entries)
+
+
+class KPCoreServer:
+    """Thread-safe (k,p)-core query serving over a durable index.
+
+    Parameters
+    ----------
+    durable:
+        The :class:`~repro.service.durable.DurableMaintainer` to serve
+        from.  The server takes ownership of its write path: route every
+        update through :meth:`apply` / :meth:`insert_edge` /
+        :meth:`delete_edge` (writing to ``durable`` directly would bypass
+        both the write lock and the cache purge).
+    cache_size:
+        Capacity of the LRU result cache.
+    cache_enabled:
+        ``False`` serves every query straight from Algorithm 3 — the
+        ablation/soak configuration.
+    """
+
+    def __init__(
+        self,
+        durable: DurableMaintainer,
+        cache_size: int = DEFAULT_CACHE_SIZE,
+        cache_enabled: bool = True,
+    ) -> None:
+        self._durable = durable
+        self._lock = RWLock()
+        self._cache: QueryCache | None = (
+            QueryCache(cache_size) if cache_enabled else None
+        )
+        self._queries = 0
+        self._queries_mutex = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # accessors
+    # ------------------------------------------------------------------
+    @property
+    def durable(self) -> DurableMaintainer:
+        return self._durable
+
+    @property
+    def index(self) -> KPIndex:
+        return self._durable.index
+
+    @property
+    def cache_enabled(self) -> bool:
+        return self._cache is not None
+
+    @property
+    def queries_served(self) -> int:
+        with self._queries_mutex:
+            return self._queries
+
+    def cache_stats(self) -> CacheStats:
+        """Counters of the result cache (all-zero when disabled)."""
+        if self._cache is None:
+            return CacheStats(
+                hits=0, misses=0, invalidations=0, evictions=0,
+                size=0, capacity=0,
+            )
+        return self._cache.stats()
+
+    def cache_contents(self) -> dict[tuple[int, float], int]:
+        """``{(k, p): version}`` of the live cache (tests/debugging)."""
+        if self._cache is None:
+            return {}
+        return self._cache.contents()
+
+    # ------------------------------------------------------------------
+    # the read path
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _validate(k: int, p: float) -> None:
+        if k < 1:
+            raise ParameterError(
+                f"degree threshold k must be >= 1, got {k}"
+            )
+        check_p(p)
+
+    def query(self, k: int, p: float) -> list[Vertex]:
+        """Vertices of ``C_{k,p}`` on the current graph, cache-assisted.
+
+        Validation runs before the cache is consulted, so out-of-range
+        parameters raise (:class:`~repro.errors.ParameterError`) rather
+        than ever touching — or poisoning — the cache.
+        """
+        self._validate(k, p)
+        with self._lock.read_locked():
+            return self._answer_locked(k, p)
+
+    def query_many(
+        self, pairs: Sequence[tuple[int, float]]
+    ) -> list[list[Vertex]]:
+        """Answer many ``(k, p)`` queries under one read-lock hold.
+
+        All pairs are validated up front; the batch is all-or-nothing
+        with respect to validation.  Every answer in the returned list
+        reflects the same index state (no write interleaves mid-batch).
+        """
+        for k, p in pairs:
+            self._validate(k, p)
+        obs = get_collector()
+        if obs is not None:
+            obs.observe(metric.SERVER_BATCH_SIZE, len(pairs))
+        with self._lock.read_locked():
+            return [self._answer_locked(k, p) for k, p in pairs]
+
+    def _answer_locked(self, k: int, p: float) -> list[Vertex]:
+        obs = get_collector()
+        if obs is not None:
+            obs.inc(metric.SERVER_QUERIES)
+        with self._queries_mutex:
+            self._queries += 1
+        cache = self._cache
+        if cache is None:
+            return self._durable.query(k, p)
+        version = self.index.version(k)
+        cached = cache.get(k, p, version)
+        if cached is not None:
+            return list(cached)
+        answer = self._durable.query(k, p)
+        cache.put(k, p, version, tuple(answer))
+        return answer
+
+    # ------------------------------------------------------------------
+    # the write path
+    # ------------------------------------------------------------------
+    def apply(self, updates: Iterable[UpdateOp]) -> ApplyReport:
+        """Apply an update batch under the write lock, then purge.
+
+        Delegates to :meth:`DurableMaintainer.apply` (write-ahead
+        journaling, periodic checkpoints, the configured error policy)
+        and afterwards — still exclusively — drops every cache entry
+        whose ``A_k`` version moved.  The purge runs even when the batch
+        raises under ``ErrorPolicy.FAIL``: whatever prefix was applied
+        has mutated the index for good.
+        """
+        with self._lock.write_locked():
+            before = self.index.versions()
+            try:
+                return self._durable.apply(updates)
+            finally:
+                self._purge_changed(before)
+
+    def insert_edge(self, u: Vertex, v: Vertex) -> None:
+        """Journal, apply, and invalidate for one edge insertion."""
+        with self._lock.write_locked():
+            before = self.index.versions()
+            try:
+                self._durable.insert_edge(u, v)
+            finally:
+                self._purge_changed(before)
+
+    def delete_edge(self, u: Vertex, v: Vertex) -> None:
+        """Journal, apply, and invalidate for one edge deletion."""
+        with self._lock.write_locked():
+            before = self.index.versions()
+            try:
+                self._durable.delete_edge(u, v)
+            finally:
+                self._purge_changed(before)
+
+    def checkpoint(self) -> int:
+        """Write a durable checkpoint under the write lock.
+
+        Checkpoints do not mutate any ``A_k``, so the cache keeps
+        serving across them.
+        """
+        with self._lock.write_locked():
+            return self._durable.checkpoint()
+
+    def _purge_changed(self, before: dict[int, int]) -> int:
+        cache = self._cache
+        if cache is None:
+            return 0
+        purged = 0
+        for k, version in self.index.versions().items():
+            if before.get(k, 0) != version:
+                purged += cache.purge_k(k)
+        return purged
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        with self._lock.write_locked():
+            self._durable.close()
+            if self._cache is not None:
+                self._cache.clear()
+
+    def __enter__(self) -> "KPCoreServer":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

@@ -1,0 +1,225 @@
+"""Deterministic mixed query/update workloads for serving benchmarks.
+
+A workload is a seeded, reproducible interleaving of three op kinds::
+
+    ("query",  k, p)    answer a (k,p)-core query
+    ("insert", u, v)    insert edge (u, v)
+    ("delete", u, v)    delete edge (u, v)
+
+The generator simulates the edge set as it goes, so every emitted insert
+targets an absent pair and every delete targets a present edge — applied
+in order by a single writer, no generated update can fail.  Queries draw
+``k`` uniformly from ``[1, k_max]`` and ``p`` from the finite grid
+``{0, 1/p_levels, ..., 1}``; the finite grid is deliberate: repeated
+``(k, p)`` pairs are what exercise (and measure) the result cache.
+
+Spec strings are comma-separated ``key=value`` pairs, e.g.::
+
+    ops=400,query=8,insert=1,delete=1,vertices=60,kmax=6,plevels=10,prefill=80
+
+Omitted keys keep their defaults (see :class:`WorkloadSpec`); the empty
+string is the default workload.  ``query``/``insert``/``delete`` are
+relative weights of the mixed phase; ``prefill`` inserts come first so
+the graph has structure before the mix begins.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, fields
+from typing import Iterator, Sequence
+
+from repro.errors import ParameterError
+
+__all__ = [
+    "WorkloadOp",
+    "WorkloadSpec",
+    "generate_workload",
+    "split_workload",
+    "iter_query_ops",
+]
+
+#: One workload entry: ("query", k, p) or ("insert"/"delete", u, v).
+WorkloadOp = tuple  # type: ignore[type-arg]
+
+_INT_KEYS = {"ops", "vertices", "kmax", "plevels", "prefill"}
+_WEIGHT_KEYS = {"query", "insert", "delete"}
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Shape of a generated workload (all knobs, with defaults)."""
+
+    ops: int = 400
+    query: float = 8.0
+    insert: float = 1.0
+    delete: float = 1.0
+    vertices: int = 60
+    kmax: int = 6
+    plevels: int = 10
+    prefill: int = 80
+
+    def __post_init__(self) -> None:
+        if self.ops < 0 or self.prefill < 0:
+            raise ParameterError("ops and prefill must be >= 0")
+        if self.vertices < 2:
+            raise ParameterError(
+                f"vertices must be >= 2, got {self.vertices}"
+            )
+        if self.kmax < 1:
+            raise ParameterError(f"kmax must be >= 1, got {self.kmax}")
+        if self.plevels < 1:
+            raise ParameterError(f"plevels must be >= 1, got {self.plevels}")
+        weights = (self.query, self.insert, self.delete)
+        if min(weights) < 0 or sum(weights) <= 0:
+            raise ParameterError(
+                "query/insert/delete weights must be >= 0 and not all zero"
+            )
+
+    @classmethod
+    def parse(cls, spec: str) -> "WorkloadSpec":
+        """Build a spec from a ``key=value,key=value`` string."""
+        known = {f.name for f in fields(cls)}
+        values: dict[str, float | int] = {}
+        for chunk in spec.split(","):
+            chunk = chunk.strip()
+            if not chunk:
+                continue
+            key, sep, raw = chunk.partition("=")
+            key = key.strip()
+            if not sep or key not in known:
+                raise ParameterError(
+                    f"bad workload spec item {chunk!r} "
+                    f"(known keys: {', '.join(sorted(known))})"
+                )
+            try:
+                values[key] = (
+                    int(raw) if key in _INT_KEYS else float(raw)
+                )
+            except ValueError:
+                raise ParameterError(
+                    f"bad workload spec value in {chunk!r}"
+                ) from None
+        return cls(**values)  # type: ignore[arg-type]
+
+    def to_string(self) -> str:
+        """The canonical spec string (parses back to an equal spec)."""
+        parts = []
+        for f in fields(self):
+            value = getattr(self, f.name)
+            rendered = str(value) if f.name in _INT_KEYS else f"{value:g}"
+            parts.append(f"{f.name}={rendered}")
+        return ",".join(parts)
+
+
+class _EdgeMirror:
+    """The generator's model of the graph: O(1) random present edge."""
+
+    def __init__(self) -> None:
+        self._edges: list[tuple[int, int]] = []
+        self._pos: dict[tuple[int, int], int] = {}
+
+    def __len__(self) -> int:
+        return len(self._edges)
+
+    def __contains__(self, edge: tuple[int, int]) -> bool:
+        return edge in self._pos
+
+    def add(self, edge: tuple[int, int]) -> None:
+        self._pos[edge] = len(self._edges)
+        self._edges.append(edge)
+
+    def remove_random(self, rng: random.Random) -> tuple[int, int]:
+        index = rng.randrange(len(self._edges))
+        edge = self._edges[index]
+        last = self._edges[-1]
+        self._edges[index] = last
+        self._pos[last] = index
+        self._edges.pop()
+        del self._pos[edge]
+        return edge
+
+
+def _random_absent_pair(
+    rng: random.Random, mirror: _EdgeMirror, n: int
+) -> tuple[int, int] | None:
+    max_edges = n * (n - 1) // 2
+    if len(mirror) >= max_edges:
+        return None
+    while True:
+        u = rng.randrange(n)
+        v = rng.randrange(n)
+        if u == v:
+            continue
+        edge = (u, v) if u < v else (v, u)
+        if edge not in mirror:
+            return edge
+
+
+def generate_workload(
+    spec: WorkloadSpec | str, seed: int = 0
+) -> list[WorkloadOp]:
+    """The deterministic op sequence for ``spec`` at ``seed``."""
+    if isinstance(spec, str):
+        spec = WorkloadSpec.parse(spec)
+    rng = random.Random(seed)
+    mirror = _EdgeMirror()
+    ops: list[WorkloadOp] = []
+
+    def emit_insert() -> bool:
+        edge = _random_absent_pair(rng, mirror, spec.vertices)
+        if edge is None:
+            return False
+        mirror.add(edge)
+        ops.append(("insert", edge[0], edge[1]))
+        return True
+
+    def emit_delete() -> bool:
+        if not len(mirror):
+            return False
+        u, v = mirror.remove_random(rng)
+        ops.append(("delete", u, v))
+        return True
+
+    for _ in range(spec.prefill):
+        if not emit_insert():
+            break
+    kinds = ("query", "insert", "delete")
+    weights = (spec.query, spec.insert, spec.delete)
+    for _ in range(spec.ops):
+        kind = rng.choices(kinds, weights=weights)[0]
+        if kind == "query":
+            k = rng.randint(1, spec.kmax)
+            p = rng.randint(0, spec.plevels) / spec.plevels
+            ops.append(("query", k, p))
+        elif kind == "insert":
+            # A complete graph degrades inserts to deletes (and an empty
+            # one degrades deletes to inserts below) so the op count is
+            # honoured whatever the density does.
+            emit_insert() or emit_delete()
+        else:
+            emit_delete() or emit_insert()
+    return ops
+
+
+def split_workload(
+    ops: Sequence[WorkloadOp],
+) -> tuple[list[tuple[int, float]], list[WorkloadOp]]:
+    """Partition into query pairs and update ops, each in stream order."""
+    queries: list[tuple[int, float]] = []
+    updates: list[WorkloadOp] = []
+    for op in ops:
+        if op[0] == "query":
+            queries.append((op[1], op[2]))
+        else:
+            updates.append(op)
+    return queries, updates
+
+
+def iter_query_ops(
+    ops: Sequence[WorkloadOp],
+) -> Iterator[tuple[int, float]]:
+    """Just the ``(k, p)`` pairs of a workload, in order."""
+    for op in ops:
+        if op[0] == "query":
+            yield (op[1], op[2])

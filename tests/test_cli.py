@@ -172,6 +172,50 @@ class TestIndexUpdateRecover:
         assert capsys.readouterr().err.startswith("error:")
 
 
+class TestIndexServeBench:
+    SPEC = "ops=60,vertices=12,kmax=3,prefill=15"
+
+    def test_reports_throughput_and_cache(self, tmp_path, capsys):
+        assert main(
+            ["index", "serve-bench", str(tmp_path / "state"),
+             "--workload", self.SPEC, "--threads", "2", "--seed", "1"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "threads 2  cache on" in out
+        assert "throughput" in out
+        assert "latency ms" in out
+        assert "hit_rate=" in out
+
+    def test_probe_every_audits_against_naive(self, tmp_path, capsys):
+        assert main(
+            ["index", "serve-bench", str(tmp_path / "state"),
+             "--workload", self.SPEC, "--threads", "1", "--seed", "1",
+             "--probe-every", "1"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "stale_serves 0 (vs naive fixpoint)" in out
+
+    def test_no_cache_and_json_output(self, tmp_path, capsys):
+        report = tmp_path / "serve.json"
+        assert main(
+            ["index", "serve-bench", str(tmp_path / "state"),
+             "--workload", self.SPEC, "--no-cache", "--json", str(report)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "cache off" in out
+        document = json.load(open(report))
+        assert document["cache"] is False
+        assert document["cache_stats"]["hits"] == 0
+        assert document["queries"] > 0
+
+    def test_bad_workload_spec_reports_error(self, tmp_path, capsys):
+        assert main(
+            ["index", "serve-bench", str(tmp_path / "state"),
+             "--workload", "bogus=1"]
+        ) == 1
+        assert capsys.readouterr().err.startswith("error:")
+
+
 class TestDataset:
     def test_stats_only(self, capsys):
         assert main(["dataset", "facebook"]) == 0

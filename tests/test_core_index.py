@@ -40,6 +40,15 @@ class TestKArray:
         array = KArray(k=2, vertices=[1], p_numbers=[0.5])
         assert array.query(0.9) == []
 
+    def test_query_rejects_out_of_range_p(self):
+        # Regression lock-in: KArray.query must validate p itself (the
+        # serving cache keys answers by (k, p) — a silently-accepted bad
+        # p would poison it).  ParameterError subclasses ValueError.
+        array = KArray(k=2, vertices=[1, 2], p_numbers=[0.5, 1.0])
+        for bad in (-0.1, 1.1, float("nan")):
+            with pytest.raises(ValueError):
+                array.query(bad)
+
     def test_p_number_lookup(self):
         array = KArray(k=2, vertices=[1, 2], p_numbers=[0.5, 0.8])
         assert array.p_number(2) == 0.8
@@ -89,12 +98,45 @@ class TestIndexQueries:
             index.query(0, 0.5)
         with pytest.raises(ParameterError):
             index.query(1, 1.5)
+        with pytest.raises(ParameterError):
+            index.query(1, -0.1)
+        with pytest.raises(ParameterError):
+            index.query(1, float("nan"))
 
     def test_p_number_accessor(self, cascade_graph):
         index = KPIndex.build(cascade_graph)
         assert index.p_number(5, 2) == pytest.approx(2 / 3)
         with pytest.raises(KeyError):
             index.p_number(5, 9)
+
+
+class TestVersions:
+    def test_fresh_index_starts_at_zero(self, triangle):
+        index = KPIndex.build(triangle)
+        assert index.versions() == {}
+        assert index.version(1) == 0
+        assert index.version(99) == 0
+
+    def test_bump_is_monotonic_per_k(self, triangle):
+        index = KPIndex.build(triangle)
+        assert index.bump_version(2) == 1
+        assert index.bump_version(2) == 2
+        assert index.bump_version(3) == 1
+        assert index.version(2) == 2
+        assert index.version(3) == 1
+        assert index.version(1) == 0
+
+    def test_versions_returns_a_copy(self, triangle):
+        index = KPIndex.build(triangle)
+        index.bump_version(1)
+        snapshot = index.versions()
+        snapshot[1] = 99
+        assert index.version(1) == 1
+
+    def test_version_validates_k(self, triangle):
+        index = KPIndex.build(triangle)
+        with pytest.raises(ParameterError):
+            index.version(0)
 
 
 class TestStructure:

@@ -232,3 +232,73 @@ class TestRandomizedStreams:
             u, v = edges.pop(rng.randrange(len(edges)))
             maintainer.delete_edge(u, v)
         assert maintainer.stats.fallback_rebuilds == 0
+
+
+def _array_snapshots(index: KPIndex) -> dict[int, tuple]:
+    return {
+        k: (tuple(a.vertices), tuple(a.p_numbers))
+        for k, a in index.arrays().items()
+    }
+
+
+class TestVersionBumps:
+    """The per-k version counters are a sound invalidation oracle:
+    whenever an update changes A_k's content, version(k) must move.
+    (The converse — no content change implies no bump — is deliberately
+    NOT required: conservative bumps are safe, stale serves are not.)
+    """
+
+    def test_content_change_always_bumps(self, mode):
+        g = erdos_renyi_gnm(14, 36, seed=8)
+        maintainer = KPIndexMaintainer(g.copy(), mode=mode, strict=True)
+        rng = random.Random(8)
+        edges = list(g.edges())
+        for _ in range(30):
+            before = _array_snapshots(maintainer.index)
+            versions = maintainer.index.versions()
+            if edges and rng.random() < 0.5:
+                u, v = edges.pop(rng.randrange(len(edges)))
+                maintainer.delete_edge(u, v)
+            else:
+                u, v = rng.randrange(14), rng.randrange(14)
+                if u == v or maintainer.graph.has_edge(u, v):
+                    continue
+                maintainer.insert_edge(u, v)
+                edges.append((u, v))
+            after = _array_snapshots(maintainer.index)
+            for k in set(before) | set(after):
+                if before.get(k) != after.get(k):
+                    assert maintainer.index.version(k) != versions.get(k, 0), (
+                        f"A_{k} changed without a version bump"
+                    )
+
+    def test_theorem_skip_leaves_versions_alone(self, mode):
+        # A pendant edge between two fresh vertices cannot touch any
+        # A_k with k >= 2 (Thm. 2: both new core numbers are 1).
+        g = Graph([(0, 1), (1, 2), (2, 0)])
+        maintainer = KPIndexMaintainer(g, mode=mode, strict=True)
+        high_k = {
+            k: maintainer.index.version(k) for k in range(2, 6)
+        }
+        maintainer.insert_edge(10, 11)
+        assert_index_exact(maintainer)
+        for k, version in high_k.items():
+            assert maintainer.index.version(k) == version
+        assert maintainer.index.version(1) > 0
+
+    def test_array_creation_bumps(self, mode):
+        # Completing K4 creates A_3 for the first time; a cached "A_3
+        # does not exist -> empty" answer must be invalidated.
+        g = Graph([(0, 1), (0, 2), (0, 3), (1, 2), (1, 3)])
+        maintainer = KPIndexMaintainer(g, mode=mode, strict=True)
+        assert maintainer.index.version(3) == 0
+        maintainer.insert_edge(2, 3)
+        assert maintainer.index.version(3) > 0
+
+    def test_vertex_deletion_bumps_a1(self, mode):
+        g = Graph([(0, 1), (1, 2)])
+        maintainer = KPIndexMaintainer(g, mode=mode, strict=True)
+        before = maintainer.index.version(1)
+        maintainer.delete_vertex(0)
+        assert maintainer.index.version(1) > before
+        assert_index_exact(maintainer)
