@@ -19,7 +19,9 @@ Glue for using the library without writing Python:
   (``table2``, ``fig6`` … ``fig16``, ``ablation``),
 * ``profile CMD ...``       — run any other command with metrics
   collection on and print the obs report afterwards,
-* ``lint [PATH ...]``       — run the repo's KP001-KP007 AST lint rules,
+* ``lint [PATH ...]``       — run the repo's KP lint rules (KP001-KP007
+  per file, plus the KP008-KP012 whole-program analysis with
+  ``--analysis``; ``--format text|json|sarif``),
 * ``selfcheck [FILE]``      — run every runtime invariant contract.
 
 All commands print to stdout; file arguments are SNAP-style edge lists,
@@ -289,7 +291,13 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     if args.explain:
         explain()
         return 0
-    return run(args.paths or ["."])
+    return run(
+        args.paths or ["."],
+        analysis=args.analysis,
+        fmt=args.format,
+        select=args.select.split(",") if args.select else None,
+        ignore=args.ignore.split(",") if args.ignore else None,
+    )
 
 
 def _cmd_selfcheck(args: argparse.Namespace) -> int:
@@ -498,7 +506,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_profile.set_defaults(func=_cmd_profile)
 
     p_lint = sub.add_parser(
-        "lint", help="run the repo-specific AST lint rules (KP001-KP007)"
+        "lint", help="run the repo-specific AST lint rules (KP001-KP012)"
     )
     p_lint.add_argument(
         "paths", nargs="*", metavar="PATH",
@@ -507,6 +515,23 @@ def build_parser() -> argparse.ArgumentParser:
     p_lint.add_argument(
         "--explain", action="store_true",
         help="list the rule codes and exit",
+    )
+    p_lint.add_argument(
+        "--analysis", action="store_true",
+        help="also run the whole-program concurrency/durability rules "
+        "(KP008-KP012: call graph + effect + lock-context analysis)",
+    )
+    p_lint.add_argument(
+        "--format", choices=("text", "json", "sarif"), default="text",
+        help="output format (default: text)",
+    )
+    p_lint.add_argument(
+        "--select", metavar="CODES", default=None,
+        help="comma-separated rule codes to keep (e.g. KP008,KP012)",
+    )
+    p_lint.add_argument(
+        "--ignore", metavar="CODES", default=None,
+        help="comma-separated rule codes to drop",
     )
     p_lint.set_defaults(func=_cmd_lint)
 

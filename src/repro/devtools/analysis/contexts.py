@@ -1,0 +1,150 @@
+"""Lock-context propagation: which lock scopes dominate each statement.
+
+Two layers:
+
+* **Lexical** — a walk over each function body tracking the stack of
+  ``with`` statements that take a lock: ``with x.read_locked():`` opens a
+  ``"read"`` scope, ``with x.write_locked():`` a ``"write"`` scope, and a
+  bare ``with self._mutex:`` (any lock-ish name) an ``"exclusive"``
+  scope.  Every node inside gets the set of open scopes plus the
+  identity of the innermost lock ``with`` (so KP008 can check that a
+  version read and the cache fill it guards share *one* scope).
+* **Interprocedural** — the *entry context* of a function: the locks
+  that are held on **every** analyzed call path reaching it, computed as
+  a greatest fixpoint of intersection over call sites
+  (``entry(f) = ∩ over sites s of (locks(s) ∪ entry(caller(s)))``).
+  Functions with no analyzed callers are entry points and start from the
+  empty context; this keeps the propagation under-approximate — a
+  helper that is *sometimes* called unlocked is treated as unlocked.
+
+Nested ``def``/``lambda`` bodies deliberately do not inherit the lexical
+context of their definition site: they run later, when the lock may no
+longer be held.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+
+from repro.devtools.analysis.callgraph import Program, base_name
+
+__all__ = [
+    "LOCK_READ",
+    "LOCK_WRITE",
+    "LOCK_EXCLUSIVE",
+    "SiteContext",
+    "ContextMap",
+    "compute_contexts",
+]
+
+LOCK_READ = "read"
+LOCK_WRITE = "write"
+LOCK_EXCLUSIVE = "exclusive"
+
+_ALL_LOCKS = frozenset({LOCK_READ, LOCK_WRITE, LOCK_EXCLUSIVE})
+_EMPTY: frozenset[str] = frozenset()
+_LOCKY_RE = re.compile(r"lock|mutex|cond|sem", re.IGNORECASE)
+
+
+@dataclass(frozen=True)
+class SiteContext:
+    """Lexical lock scopes open at one AST node."""
+
+    locks: frozenset[str]
+    #: ``id()`` of the innermost lock-taking ``with`` node, or ``None``
+    #: when no lexical lock scope is open.
+    scope_id: int | None
+
+
+_NO_CONTEXT = SiteContext(locks=_EMPTY, scope_id=None)
+
+
+def _lock_kind(item: ast.withitem) -> str | None:
+    """Classify one ``with`` item as a lock acquisition, if it is one."""
+    expr = item.context_expr
+    if isinstance(expr, ast.Call) and isinstance(expr.func, ast.Attribute):
+        if expr.func.attr == "read_locked":
+            return LOCK_READ
+        if expr.func.attr == "write_locked":
+            return LOCK_WRITE
+    if isinstance(expr, (ast.Name, ast.Attribute)):
+        name = base_name(expr)
+        if name is not None and _LOCKY_RE.search(name):
+            return LOCK_EXCLUSIVE
+    return None
+
+
+class ContextMap:
+    """Lexical contexts per AST node plus entry contexts per function."""
+
+    def __init__(self) -> None:
+        #: ``id(node)`` -> lexical context (every node in a function body).
+        self.sites: dict[int, SiteContext] = {}
+        #: function qualname -> locks held on every analyzed call path.
+        self.entry: dict[str, frozenset[str]] = {}
+
+    def at(self, node: ast.AST) -> SiteContext:
+        return self.sites.get(id(node), _NO_CONTEXT)
+
+    def entry_locks(self, qualname: str) -> frozenset[str]:
+        return self.entry.get(qualname, _EMPTY)
+
+    def effective_locks(self, qualname: str, node: ast.AST) -> frozenset[str]:
+        """Locks held at ``node`` inside ``qualname``: lexical + inherited."""
+        return self.at(node).locks | self.entry_locks(qualname)
+
+
+def _walk_function(
+    function_node: ast.FunctionDef | ast.AsyncFunctionDef, sites: dict[int, SiteContext]
+) -> None:
+    def visit(node: ast.AST, locks: frozenset[str], scope: int | None) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda, ast.ClassDef)):
+                continue
+            sites[id(child)] = SiteContext(locks=locks, scope_id=scope)
+            if isinstance(child, (ast.With, ast.AsyncWith)):
+                kinds = [k for k in map(_lock_kind, child.items) if k is not None]
+                if kinds:
+                    inner = locks.union(kinds)
+                    # Context expressions themselves run *before* the
+                    # lock is held.
+                    for item in child.items:
+                        visit(item.context_expr, locks, scope)
+                        sites[id(item.context_expr)] = SiteContext(locks, scope)
+                    for stmt in child.body:
+                        sites[id(stmt)] = SiteContext(inner, id(child))
+                        visit(stmt, inner, id(child))
+                    continue
+            visit(child, locks, scope)
+
+    visit(function_node, _EMPTY, None)
+
+
+def compute_contexts(program: Program) -> ContextMap:
+    """Lexical walk of every function, then the entry-context fixpoint."""
+    contexts = ContextMap()
+    for function in program.functions.values():
+        _walk_function(function.node, contexts.sites)
+
+    callers = program.callers()
+    # Greatest fixpoint: start callees at TOP, entry points at the empty
+    # context, and intersect over call sites until stable.
+    for qualname in program.functions:
+        contexts.entry[qualname] = _ALL_LOCKS if callers.get(qualname) else _EMPTY
+    changed = True
+    while changed:
+        changed = False
+        for qualname, sites in callers.items():
+            if qualname not in contexts.entry:
+                continue
+            incoming: frozenset[str] | None = None
+            for caller, site in sites:
+                held = contexts.sites.get(id(site.node), _NO_CONTEXT).locks
+                held = held | contexts.entry.get(caller.qualname, _EMPTY)
+                incoming = held if incoming is None else (incoming & held)
+            if incoming is not None and incoming != contexts.entry[qualname]:
+                contexts.entry[qualname] = incoming
+                changed = True
+    return contexts

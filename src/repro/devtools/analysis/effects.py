@@ -1,0 +1,255 @@
+"""Effect inference over the call graph.
+
+Classifies what each function *does* to the shared serving state — the
+``KPIndex`` level arrays, the ``QueryCache``, the update journal, and
+the filesystem — first from local AST patterns (*direct* effects, each
+anchored to a source location), then transitively along resolved call
+edges (*summary* effects) so that e.g. ``KPCoreServer.apply`` is known
+to mutate the index and touch disk even though both happen three calls
+deep in :mod:`repro.service.durable`.
+
+Only effects that meaningfully propagate through a call boundary are
+summarized (mutation, journal writes, blocking I/O).  Lock
+acquisitions, version reads and cache fills stay local: the rules that
+consume them (KP008, KP009) reason about the function that performs
+them, not about callers.
+"""
+
+from __future__ import annotations
+
+import ast
+import enum
+import re
+from dataclasses import dataclass, field
+
+from repro.devtools.analysis.callgraph import CallSite, Program, base_name
+
+__all__ = [
+    "Effect",
+    "EffectSite",
+    "FunctionEffects",
+    "EffectMap",
+    "classify_call",
+    "classify_statement",
+    "compute_effects",
+]
+
+
+class Effect(enum.Flag):
+    """What a statement or function does to shared serving state."""
+
+    NONE = 0
+    MUTATES_INDEX = enum.auto()
+    BUMPS_VERSION = enum.auto()
+    READS_VERSION = enum.auto()
+    FILLS_CACHE = enum.auto()
+    JOURNAL_APPEND = enum.auto()
+    BLOCKING_IO = enum.auto()
+
+
+#: Effects carried across call edges into caller summaries.
+_PROPAGATED = Effect.MUTATES_INDEX | Effect.JOURNAL_APPEND | Effect.BLOCKING_IO
+
+#: Attributes that hold the per-k level arrays of a ``KPIndex``/``KArray``.
+_ARRAY_ATTRS = frozenset({"vertices", "p_numbers", "levels", "level_values", "level_starts"})
+#: Container mutators that rewrite a level array in place.
+_MUTATOR_METHODS = frozenset(
+    {"append", "extend", "insert", "remove", "pop", "clear", "sort", "reverse"}
+)
+#: Methods whose very purpose is rewriting index arrays.
+_INDEX_MUTATING_CALLS = frozenset({"replace_segment", "_rebuild_levels"})
+#: ``os.`` / builtin calls that hit the filesystem or block the thread.
+_BLOCKING_CALLS = frozenset({"fsync", "fdopen", "replace", "sleep"})
+
+#: Receivers whose ``.vertices``/``.p_numbers`` really are live index
+#: state.  Local scratch buffers (``result.p_numbers.append`` while
+#: building a fresh array) share the attribute names but not the root.
+_ARRAY_ROOT_RE = re.compile(r"^self$|array|index|idx", re.IGNORECASE)
+
+_JOURNAL_RE = re.compile(r"journal", re.IGNORECASE)
+_CACHE_RE = re.compile(r"cache", re.IGNORECASE)
+_INDEX_RE = re.compile(r"(?:^|_)(?:index|idx)$", re.IGNORECASE)
+_HANDLE_RE = re.compile(r"(?:^|_)(?:handle|fh|fp|file|outfile|infile)$", re.IGNORECASE)
+_HOOK_FIRE_RE = re.compile(r"fire.*hooks?", re.IGNORECASE)
+
+
+@dataclass(frozen=True)
+class EffectSite:
+    """One source location where a direct effect happens."""
+
+    node: ast.AST
+    effect: Effect
+    lineno: int
+    col: int
+    detail: str
+
+
+@dataclass
+class FunctionEffects:
+    """Direct effects of one function, with their anchoring sites."""
+
+    direct: Effect = Effect.NONE
+    sites: list[EffectSite] = field(default_factory=list)
+
+    def sites_with(self, effect: Effect) -> list[EffectSite]:
+        return [s for s in self.sites if s.effect & effect]
+
+
+class EffectMap:
+    """Direct and transitive effects for every function in a program."""
+
+    def __init__(self, program: Program) -> None:
+        self.program = program
+        self.direct: dict[str, FunctionEffects] = {}
+        self.summary: dict[str, Effect] = {}
+
+    def function_effects(self, qualname: str) -> FunctionEffects:
+        return self.direct.get(qualname, FunctionEffects())
+
+    def summary_of(self, qualname: str) -> Effect:
+        return self.summary.get(qualname, Effect.NONE)
+
+    def call_effect(self, site: CallSite) -> Effect:
+        """Everything a call site may do: its own pattern plus the
+        summarized effects of every resolved target."""
+        combined = classify_call(site.node)
+        for target in site.targets:
+            combined |= self.summary_of(target) & _PROPAGATED
+        return combined
+
+
+def _receiver_name(call: ast.Call) -> str | None:
+    if isinstance(call.func, ast.Attribute):
+        return base_name(call.func.value)
+    return None
+
+
+def classify_call(call: ast.Call) -> Effect:
+    """Direct effect of a single call expression, from its shape alone."""
+    effect = Effect.NONE
+    func = call.func
+    if isinstance(func, ast.Name):
+        if func.id == "open":
+            effect |= Effect.BLOCKING_IO
+        elif func.id in {"fsync", "fdopen", "sleep"}:
+            # ``from os import fsync`` / ``from time import sleep`` style.
+            effect |= Effect.BLOCKING_IO
+        elif _HOOK_FIRE_RE.search(func.id):
+            effect |= Effect.JOURNAL_APPEND
+        return effect
+    if not isinstance(func, ast.Attribute):
+        return effect
+    method = func.attr
+    receiver = base_name(func.value)
+    # ``os.replace`` blocks; ``some_string.replace`` does not — attribute
+    # forms of the blocking builtins only count on stdlib module receivers.
+    if method in _BLOCKING_CALLS and receiver in {"os", "time", "shutil"}:
+        effect |= Effect.BLOCKING_IO
+    if _HOOK_FIRE_RE.search(method):
+        effect |= Effect.JOURNAL_APPEND
+    if method == "bump_version":
+        effect |= Effect.BUMPS_VERSION
+    if method in {"version", "versions"} and receiver is not None and _INDEX_RE.search(receiver):
+        effect |= Effect.READS_VERSION
+    if receiver is not None:
+        if _JOURNAL_RE.search(receiver):
+            if method == "append":
+                effect |= Effect.JOURNAL_APPEND | Effect.BLOCKING_IO
+            elif method in {"commit", "close", "write", "flush"}:
+                effect |= Effect.BLOCKING_IO
+        if _CACHE_RE.search(receiver) and method == "put":
+            effect |= Effect.FILLS_CACHE
+        if _HANDLE_RE.search(receiver) and method in {"write", "flush", "read", "readline", "readlines"}:
+            effect |= Effect.BLOCKING_IO
+    if method in _INDEX_MUTATING_CALLS:
+        effect |= Effect.MUTATES_INDEX
+    if method in _MUTATOR_METHODS and isinstance(func.value, ast.Attribute):
+        if func.value.attr in _ARRAY_ATTRS and _is_array_root(func.value.value):
+            effect |= Effect.MUTATES_INDEX
+    return effect
+
+
+def _is_array_root(node: ast.expr) -> bool:
+    root = _chain_root(node)
+    return root is not None and bool(_ARRAY_ROOT_RE.search(root))
+
+
+def _chain_root(node: ast.expr) -> str | None:
+    """The bottom-most name of an attribute/subscript chain."""
+    while isinstance(node, (ast.Attribute, ast.Subscript)):
+        node = node.value
+    return node.id if isinstance(node, ast.Name) else None
+
+
+def _is_array_attr_target(target: ast.expr) -> bool:
+    """``x.vertices = ...``, ``x.p_numbers[i] = ...`` and friends."""
+    if isinstance(target, ast.Subscript):
+        return _is_array_attr_target(target.value)
+    if isinstance(target, ast.Attribute):
+        return target.attr in _ARRAY_ATTRS and _is_array_root(target.value)
+    return False
+
+
+def classify_statement(node: ast.AST) -> Effect:
+    """Direct effect of a non-call statement (assignment mutation)."""
+    targets: list[ast.expr] = []
+    if isinstance(node, ast.Assign):
+        targets = list(node.targets)
+    elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+        targets = [node.target]
+    for target in targets:
+        if _is_array_attr_target(target):
+            return Effect.MUTATES_INDEX
+    return Effect.NONE
+
+
+def _direct_effects(program: Program) -> dict[str, FunctionEffects]:
+    table: dict[str, FunctionEffects] = {}
+    for function in program.functions.values():
+        effects = FunctionEffects()
+        for node in Program._own_nodes(function.node):
+            effect = Effect.NONE
+            detail = ""
+            if isinstance(node, ast.Call):
+                effect = classify_call(node)
+                detail = Program._raw(node.func)
+            elif isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+                effect = classify_statement(node)
+                detail = "assignment to a level-array attribute"
+            if effect is not Effect.NONE:
+                effects.direct |= effect
+                effects.sites.append(
+                    EffectSite(
+                        node=node,
+                        effect=effect,
+                        lineno=getattr(node, "lineno", 0),
+                        col=getattr(node, "col_offset", 0),
+                        detail=detail,
+                    )
+                )
+        table[function.qualname] = effects
+    return table
+
+
+def compute_effects(program: Program) -> EffectMap:
+    """Direct pass plus a worklist fixpoint propagating
+    ``_PROPAGATED`` effects along resolved call edges."""
+    result = EffectMap(program)
+    result.direct = _direct_effects(program)
+    result.summary = {
+        qualname: effects.direct for qualname, effects in result.direct.items()
+    }
+    callers = program.callers()
+    worklist = [q for q, e in result.summary.items() if e & _PROPAGATED]
+    while worklist:
+        callee = worklist.pop()
+        contribution = result.summary.get(callee, Effect.NONE) & _PROPAGATED
+        if contribution is Effect.NONE:
+            continue
+        for caller, _site in callers.get(callee, []):
+            before = result.summary.get(caller.qualname, Effect.NONE)
+            after = before | contribution
+            if after != before:
+                result.summary[caller.qualname] = after
+                worklist.append(caller.qualname)
+    return result

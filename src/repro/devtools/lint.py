@@ -9,8 +9,11 @@ Programmatic API::
 
 CLI (wired as ``python -m repro lint [PATH ...]``)::
 
-    python -m repro lint src            # exit 0 iff clean
-    python -m repro lint --explain      # list the rule codes
+    python -m repro lint src                     # exit 0 iff clean
+    python -m repro lint --explain               # list the rule codes
+    python -m repro lint --analysis src          # + whole-program KP008-KP012
+    python -m repro lint --format sarif src      # machine-readable report
+    python -m repro lint --select KP008,KP012 src
 
 Suppression: append ``# noqa: KP001`` (or a comma-separated list, or a
 bare ``# noqa`` for every rule) to the offending line, ideally with a
@@ -33,6 +36,8 @@ __all__ = [
     "lint_file",
     "lint_paths",
     "iter_python_files",
+    "violation_suppressed",
+    "filter_codes",
     "explain",
     "run",
 ]
@@ -62,6 +67,35 @@ def _is_suppressed(violation: Violation, source_lines: Sequence[str]) -> bool:
     if codes is None:
         return False
     return not codes or violation.code in codes
+
+
+def violation_suppressed(
+    violation: Violation, source_lines: Sequence[str]
+) -> bool:
+    """Public suppression check, shared with the whole-program analysis
+    layer so ``# noqa`` means the same thing for KP001 and KP012."""
+    return _is_suppressed(violation, source_lines)
+
+
+def filter_codes(
+    violations: Iterable[Violation],
+    select: Iterable[str] | None = None,
+    ignore: Iterable[str] | None = None,
+) -> list[Violation]:
+    """Apply ``--select`` / ``--ignore`` code filters.
+
+    ``select`` keeps only the listed codes; ``ignore`` then drops its
+    codes.  Parse errors (KP000) obey the same filters as everything
+    else, so ``--select KP008`` really means "only KP008".
+    """
+    kept = list(violations)
+    if select is not None:
+        wanted = {code.strip().upper() for code in select}
+        kept = [v for v in kept if v.code in wanted]
+    if ignore is not None:
+        dropped = {code.strip().upper() for code in ignore}
+        kept = [v for v in kept if v.code not in dropped]
+    return kept
 
 
 def lint_source(
@@ -147,20 +181,46 @@ def explain(out: IO[str] = sys.stdout) -> None:
 def run(
     paths: Sequence[str | os.PathLike[str]],
     out: IO[str] = sys.stdout,
+    *,
+    analysis: bool = False,
+    fmt: str = "text",
+    select: Sequence[str] | None = None,
+    ignore: Sequence[str] | None = None,
 ) -> int:
-    """Lint ``paths`` and print findings; returns a process exit code."""
+    """Lint ``paths`` and print findings; returns a process exit code.
+
+    The tree is walked exactly once: the same file list feeds the
+    per-file rules, the (optional) whole-program analysis, and the
+    checked-file count in the summary line.
+
+    ``analysis=True`` additionally runs the KP008-KP012 whole-program
+    rules; ``fmt`` selects ``text`` (default), ``json``, or ``sarif``
+    output; ``select``/``ignore`` filter by rule code.
+    """
     try:
-        violations = lint_paths(paths)
+        files = iter_python_files(paths)
     except FileNotFoundError as error:
         out.write(f"error: {error}\n")
         return 2
-    for violation in violations:
-        out.write(violation.render() + "\n")
-    checked = len(iter_python_files(paths))
-    if violations:
-        out.write(
-            f"{len(violations)} violation(s) in {checked} file(s) checked\n"
-        )
-        return 1
-    out.write(f"clean: {checked} file(s) checked\n")
-    return 0
+    violations: list[Violation] = []
+    for file_path in files:
+        violations.extend(lint_file(file_path))
+    if analysis:
+        from repro.devtools.analysis import analyze_files
+
+        violations.extend(analyze_files(files))
+    violations = filter_codes(violations, select=select, ignore=ignore)
+    violations.sort(key=lambda v: (v.path, v.line, v.col, v.code))
+
+    from repro.devtools.reporting import render_json, render_sarif, render_text
+
+    if fmt == "json":
+        out.write(render_json(violations, len(files)) + "\n")
+    elif fmt == "sarif":
+        out.write(render_sarif(violations) + "\n")
+    elif fmt == "text":
+        render_text(violations, len(files), out)
+    else:
+        out.write(f"error: unknown format {fmt!r}\n")
+        return 2
+    return 1 if violations else 0

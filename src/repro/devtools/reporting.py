@@ -1,0 +1,120 @@
+"""Render lint/analysis findings as text, JSON, or SARIF 2.1.0.
+
+The text format is the classic ``path:line:col: CODE message`` stream
+the CLI has always printed.  JSON is a small stable envelope for
+scripting.  SARIF 2.1.0 is the interchange format GitHub code scanning
+ingests, so CI can surface KP violations as inline annotations.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Sequence
+
+from repro.devtools.violations import RULE_CODES, Violation
+
+__all__ = [
+    "SARIF_VERSION",
+    "SARIF_SCHEMA_URI",
+    "TOOL_NAME",
+    "render_text",
+    "render_json",
+    "sarif_document",
+    "render_sarif",
+]
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA_URI = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+TOOL_NAME = "repro-lint"
+
+
+def render_text(
+    violations: Sequence[Violation], checked: int, out: IO[str]
+) -> None:
+    """The classic CLI stream plus a one-line summary."""
+    for violation in violations:
+        out.write(violation.render() + "\n")
+    if violations:
+        out.write(
+            f"{len(violations)} violation(s) in {checked} file(s) checked\n"
+        )
+    else:
+        out.write(f"clean: {checked} file(s) checked\n")
+
+
+def render_json(violations: Sequence[Violation], checked: int) -> str:
+    """A stable JSON envelope for scripting."""
+    document = {
+        "tool": TOOL_NAME,
+        "files_checked": checked,
+        "violation_count": len(violations),
+        "violations": [
+            {
+                "path": violation.path,
+                "line": violation.line,
+                "col": violation.col,
+                "code": violation.code,
+                "message": violation.message,
+            }
+            for violation in violations
+        ],
+    }
+    return json.dumps(document, indent=2, sort_keys=True)
+
+
+def sarif_document(violations: Sequence[Violation]) -> dict:
+    """The findings as a SARIF 2.1.0 log object (as a plain dict)."""
+    rule_ids = sorted(RULE_CODES)
+    rule_index = {code: i for i, code in enumerate(rule_ids)}
+    results = []
+    for violation in violations:
+        entry: dict = {
+            "ruleId": violation.code,
+            "level": "error",
+            "message": {"text": violation.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": violation.path.replace("\\", "/"),
+                        },
+                        "region": {
+                            "startLine": max(violation.line, 1),
+                            # SARIF columns are 1-based; ours are 0-based.
+                            "startColumn": violation.col + 1,
+                        },
+                    }
+                }
+            ],
+        }
+        if violation.code in rule_index:
+            entry["ruleIndex"] = rule_index[violation.code]
+        results.append(entry)
+    return {
+        "$schema": SARIF_SCHEMA_URI,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": TOOL_NAME,
+                        "rules": [
+                            {
+                                "id": code,
+                                "shortDescription": {"text": RULE_CODES[code]},
+                            }
+                            for code in rule_ids
+                        ],
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+
+
+def render_sarif(violations: Sequence[Violation]) -> str:
+    return json.dumps(sarif_document(violations), indent=2, sort_keys=True)

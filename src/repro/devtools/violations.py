@@ -48,6 +48,30 @@ RULE_CODES: dict[str, str] = {
         "get_collector()/maybe_span() must be hoisted, and collector "
         "calls guarded or accumulated locally and flushed after the loop"
     ),
+    # Whole-program rules (require ``lint --analysis``).
+    "KP008": (
+        "lock discipline: call paths mutating server-held index state "
+        "must be dominated by write_locked(), and version reads + cache "
+        "fills must share a single read_locked() scope"
+    ),
+    "KP009": (
+        "version-bump pairing: an A_k mutation in core/maintenance.py "
+        "without a bump_version() call in the same function leaves the "
+        "cache-invalidation oracle stale"
+    ),
+    "KP010": (
+        "durable-write protocol: journal append must precede the "
+        "in-memory mutation it logs, and persisted files must use the "
+        "temp-file + fsync + os.replace idiom, never raw open(path, 'w')"
+    ),
+    "KP011": (
+        "process-boundary safety: lambdas, closures, locks, or open "
+        "handles must not cross into the repro.core.parallel worker pool"
+    ),
+    "KP012": (
+        "no blocking I/O (open/fsync/sleep/journal writes) while holding "
+        "a lock scope that query threads share"
+    ),
 }
 
 

@@ -150,7 +150,7 @@ class TestCaseStudy:
             inside = sum(
                 1 for w in cascade_graph.neighbors(v) if w in report.members
             )
-            assert frac == pytest.approx(inside / cascade_graph.degree(v))
+            assert frac == pytest.approx(inside / cascade_graph.degree(v))  # noqa: KP001,KP002 exact-double fraction oracle
         assert report.members <= core
 
     def test_kp_members_consistent_with_direct(self):

@@ -69,4 +69,4 @@ class TestSpace:
         g = erdos_renyi_gnm(20, 55, seed=8)
         baseline = MaterializedIndex.build(g)
         index = KPIndex.build(g)
-        assert baseline.level_entries() == index.space_stats().p_number_entries
+        assert baseline.level_entries() == index.space_stats().p_number_entries  # noqa: KP002 exact-double oracle

@@ -92,8 +92,8 @@ class TestUpperBoundsAreSound:
         kcore = k_core_vertices(cascade_graph, 2)
         cache = BoundsCache(cascade_graph, kcore)
         for w in kcore:
-            assert cache.p_hat(w) == p_hat(cascade_graph, kcore, w)
-            assert cache.p_tilde(w) == p_tilde(cascade_graph, kcore, w)
+            assert cache.p_hat(w) == p_hat(cascade_graph, kcore, w)  # noqa: KP002 exact-double oracle
+            assert cache.p_tilde(w) == p_tilde(cascade_graph, kcore, w)  # noqa: KP002 exact-double oracle
 
 
 class TestLowerBoundsAreSound:

@@ -83,7 +83,7 @@ class TestStrongestParameters:
             else:
                 k, p = answer
                 assert k == cn
-                assert p == decomposition.arrays[cn].pn_map()[v]
+                assert p == decomposition.arrays[cn].pn_map()[v]  # noqa: KP002 exact-double oracle
 
     def test_vertex_is_in_its_strongest_community(self):
         g = erdos_renyi_gnm(20, 60, seed=4)

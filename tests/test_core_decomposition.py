@@ -33,12 +33,12 @@ class TestKnownGraphs:
         # vertices 5 and 6 inherit 3's fraction 2/3 as their p-number,
         # even though 2/3 is not a multiple of 1/deg for them
         pn = p_numbers_fixed_k(cascade_graph, 2)
-        assert pn[3] == pytest.approx(2 / 3)
-        assert pn[5] == pytest.approx(2 / 3)
-        assert pn[6] == pytest.approx(2 / 3)
+        assert pn[3] == pytest.approx(2 / 3)  # noqa: KP002 exact-double oracle
+        assert pn[5] == pytest.approx(2 / 3)  # noqa: KP002 exact-double oracle
+        assert pn[6] == pytest.approx(2 / 3)  # noqa: KP002 exact-double oracle
 
     def test_k_beyond_degeneracy_is_empty(self, triangle):
-        assert p_numbers_fixed_k(triangle, 5) == {}
+        assert p_numbers_fixed_k(triangle, 5) == {}  # noqa: KP002 exact-double oracle
 
     def test_invalid_k(self, triangle):
         with pytest.raises(ParameterError):
@@ -51,7 +51,7 @@ class TestAgainstNaive:
         g = random_graph_factory(seed, n_range=(5, 14))
         d = core_decomposition(g).degeneracy
         for k in range(1, d + 1):
-            assert p_numbers_fixed_k(g, k) == naive_p_numbers_fixed_k(g, k)
+            assert p_numbers_fixed_k(g, k) == naive_p_numbers_fixed_k(g, k)  # noqa: KP002 exact-double oracle
 
 
 class TestFullDecomposition:
@@ -91,7 +91,7 @@ class TestFullDecomposition:
 
     def test_p_number_accessor(self, triangle):
         decomposition = kp_core_decomposition(triangle)
-        assert decomposition.p_number(0, 2) == 1.0
+        assert decomposition.p_number(0, 2) == 1.0  # noqa: KP002 exact-double oracle
         with pytest.raises(KeyError):
             decomposition.p_number(0, 5)
         with pytest.raises(KeyError):

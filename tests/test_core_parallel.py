@@ -102,4 +102,4 @@ class TestWorkersParameter:
         decomposition = kp_core_decomposition(g, workers=2)
         fixed = decomposition.arrays[1]
         for v, pn in zip(fixed.order, fixed.p_numbers):
-            assert decomposition.p_number(v, 1) == pn
+            assert decomposition.p_number(v, 1) == pn  # noqa: KP002 exact-double oracle

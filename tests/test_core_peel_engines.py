@@ -73,7 +73,7 @@ class TestEngineBasics:
         snapshot, core = _prepared(triangle)
         order, p_numbers = get_engine(name)(snapshot, core, 2)
         assert sorted(order) == [0, 1, 2]
-        assert p_numbers == [1.0, 1.0, 1.0]
+        assert p_numbers == [1.0, 1.0, 1.0]  # noqa: KP002 exact-double oracle
 
     @pytest.mark.parametrize("name", ["bucket", "heap"])
     def test_canonical_order_within_rounds(self, name):

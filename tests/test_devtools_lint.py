@@ -1,9 +1,12 @@
-"""Trigger / near-miss fixtures for every lint rule KP001-KP007.
+"""Trigger / near-miss fixtures for every lint rule KP001-KP012.
 
 Each rule gets at least one snippet that must fire (with the right code)
 and one nearby snippet that must stay silent, so the heuristics cannot
-drift in either direction unnoticed.  The repo's own ``src`` tree must
-lint clean — that is the acceptance gate CI runs.
+drift in either direction unnoticed.  KP001-KP007 are per-file rules
+checked via :func:`lint_source`; KP008-KP012 are whole-program rules, so
+their fixtures are small synthetic packages written to ``tmp_path`` and
+run through :func:`repro.devtools.analysis.analyze_files`.  The repo's
+own ``src`` tree must lint clean — that is the acceptance gate CI runs.
 """
 
 from __future__ import annotations
@@ -13,6 +16,7 @@ import os
 
 import pytest
 
+from repro.devtools.analysis import analyze_files
 from repro.devtools.lint import (
     iter_python_files,
     lint_file,
@@ -27,6 +31,23 @@ REPO_SRC = os.path.join(os.path.dirname(__file__), os.pardir, "src")
 
 def codes(source: str, path: str = "pkg/module.py") -> list[str]:
     return [v.code for v in lint_source(source, path=path)]
+
+
+def analysis_codes(tmp_path, files: dict[str, str]) -> list[str]:
+    """Write a synthetic package to ``tmp_path`` and run KP008-KP012."""
+    paths = []
+    for relative, source in files.items():
+        target = tmp_path / relative
+        target.parent.mkdir(parents=True, exist_ok=True)
+        package_dir = target.parent
+        while package_dir != tmp_path:
+            init = package_dir / "__init__.py"
+            if not init.exists():
+                init.write_text("")
+            package_dir = package_dir.parent
+        target.write_text(source)
+        paths.append(str(target))
+    return [v.code for v in analyze_files(sorted(paths))]
 
 
 # ----------------------------------------------------------------------
@@ -227,6 +248,333 @@ class TestKP007:
 
 
 # ----------------------------------------------------------------------
+# KP008 — lock discipline (whole-program)
+# ----------------------------------------------------------------------
+_RWLOCK_STUB = (
+    "class RWLock:\n"
+    "    def read_locked(self):\n"
+    "        return self\n"
+    "    def write_locked(self):\n"
+    "        return self\n"
+    "    def __enter__(self):\n"
+    "        return self\n"
+    "    def __exit__(self, *exc):\n"
+    "        return None\n"
+)
+
+
+class TestKP008:
+    def test_unlocked_mutation_in_lock_owner_triggers(self, tmp_path):
+        server = (
+            _RWLOCK_STUB
+            + "class Server:\n"
+            "    def __init__(self):\n"
+            "        self._lock = RWLock()\n"
+            "    def grow(self, v):\n"
+            "        self._index.vertices.append(v)\n"
+        )
+        assert analysis_codes(tmp_path, {"pkg/srv.py": server}) == ["KP008"]
+
+    def test_mutation_under_write_lock_is_clean(self, tmp_path):
+        server = (
+            _RWLOCK_STUB
+            + "class Server:\n"
+            "    def __init__(self):\n"
+            "        self._lock = RWLock()\n"
+            "    def grow(self, v):\n"
+            "        with self._lock.write_locked():\n"
+            "            self._index.vertices.append(v)\n"
+        )
+        assert analysis_codes(tmp_path, {"pkg/srv.py": server}) == []
+
+    def test_mutating_call_needs_write_lock_even_under_read_lock(self, tmp_path):
+        server = (
+            _RWLOCK_STUB
+            + "class Server:\n"
+            "    def __init__(self):\n"
+            "        self._lock = RWLock()\n"
+            "    def grow(self, v):\n"
+            "        with self._lock.read_locked():\n"
+            "            self._mutate(v)\n"
+            "    def _mutate(self, v):\n"
+            "        with self._lock.write_locked():\n"
+            "            self._index.vertices.append(v)\n"
+        )
+        # The call path grow() -> _mutate() holds only the read lock at
+        # the call site; _mutate() itself re-locks, so only the call
+        # site is flagged.
+        assert analysis_codes(tmp_path, {"pkg/srv.py": server}) == ["KP008"]
+
+    def test_version_read_and_cache_fill_outside_read_lock_triggers(self, tmp_path):
+        server = (
+            _RWLOCK_STUB
+            + "class Server:\n"
+            "    def __init__(self):\n"
+            "        self._lock = RWLock()\n"
+            "    def lookup(self, k):\n"
+            "        tag = self.index.version(k)\n"
+            "        self._cache.put((k, tag), 1)\n"
+        )
+        assert analysis_codes(tmp_path, {"pkg/srv.py": server}) == ["KP008"]
+
+    def test_version_read_and_cache_fill_in_one_scope_is_clean(self, tmp_path):
+        server = (
+            _RWLOCK_STUB
+            + "class Server:\n"
+            "    def __init__(self):\n"
+            "        self._lock = RWLock()\n"
+            "    def lookup(self, k):\n"
+            "        with self._lock.read_locked():\n"
+            "            tag = self.index.version(k)\n"
+            "            self._cache.put((k, tag), 1)\n"
+        )
+        assert analysis_codes(tmp_path, {"pkg/srv.py": server}) == []
+
+    def test_version_read_and_cache_fill_in_split_scopes_triggers(self, tmp_path):
+        server = (
+            _RWLOCK_STUB
+            + "class Server:\n"
+            "    def __init__(self):\n"
+            "        self._lock = RWLock()\n"
+            "    def lookup(self, k):\n"
+            "        with self._lock.read_locked():\n"
+            "            tag = self.index.version(k)\n"
+            "        with self._lock.read_locked():\n"
+            "            self._cache.put((k, tag), 1)\n"
+        )
+        assert analysis_codes(tmp_path, {"pkg/srv.py": server}) == ["KP008"]
+
+    def test_class_without_rwlock_is_not_checked(self, tmp_path):
+        module = (
+            "class Builder:\n"
+            "    def grow(self, v):\n"
+            "        self._index.vertices.append(v)\n"
+        )
+        assert analysis_codes(tmp_path, {"pkg/builder.py": module}) == []
+
+
+# ----------------------------------------------------------------------
+# KP009 — version-bump pairing in core/maintenance.py (whole-program)
+# ----------------------------------------------------------------------
+class TestKP009:
+    def test_mutation_without_bump_triggers(self, tmp_path):
+        module = (
+            "class Maintainer:\n"
+            "    def splice(self, array, v):\n"
+            "        array.vertices.append(v)\n"
+        )
+        files = {"pkg/core/maintenance.py": module}
+        assert analysis_codes(tmp_path, files) == ["KP009"]
+
+    def test_mutation_with_bump_is_clean(self, tmp_path):
+        module = (
+            "class Maintainer:\n"
+            "    def splice(self, array, v):\n"
+            "        array.vertices.append(v)\n"
+            "        self.index.bump_version(1)\n"
+        )
+        files = {"pkg/core/maintenance.py": module}
+        assert analysis_codes(tmp_path, files) == []
+
+    def test_scratch_buffer_mutation_is_not_index_state(self, tmp_path):
+        module = (
+            "class Maintainer:\n"
+            "    def rebuild(self, result, value):\n"
+            "        result.p_numbers.append(value)\n"
+        )
+        files = {"pkg/core/maintenance.py": module}
+        assert analysis_codes(tmp_path, files) == []
+
+    def test_other_modules_are_not_checked(self, tmp_path):
+        module = (
+            "class Maintainer:\n"
+            "    def splice(self, array, v):\n"
+            "        array.vertices.append(v)\n"
+        )
+        assert analysis_codes(tmp_path, {"pkg/core/other.py": module}) == []
+
+
+# ----------------------------------------------------------------------
+# KP010 — durable-write protocol (whole-program)
+# ----------------------------------------------------------------------
+class TestKP010:
+    def test_mutation_before_journal_append_triggers(self, tmp_path):
+        module = (
+            "class Store:\n"
+            "    def apply(self, record, v):\n"
+            "        self.arrays.vertices.append(v)\n"
+            "        self._journal.append(record)\n"
+        )
+        files = {"pkg/service/store.py": module}
+        assert analysis_codes(tmp_path, files) == ["KP010"]
+
+    def test_journal_append_before_mutation_is_clean(self, tmp_path):
+        module = (
+            "class Store:\n"
+            "    def apply(self, record, v):\n"
+            "        self._journal.append(record)\n"
+            "        self.arrays.vertices.append(v)\n"
+        )
+        files = {"pkg/service/store.py": module}
+        assert analysis_codes(tmp_path, files) == []
+
+    def test_raw_open_for_write_on_persisted_path_triggers(self, tmp_path):
+        module = (
+            "def save(path, payload):\n"
+            "    with open(path, 'w') as handle:\n"
+            "        handle.write(payload)\n"
+        )
+        files = {"pkg/service/snapshot.py": module}
+        assert analysis_codes(tmp_path, files) == ["KP010"]
+
+    def test_read_open_and_unscoped_modules_are_clean(self, tmp_path):
+        reader = (
+            "def load(path):\n"
+            "    with open(path, 'r') as handle:\n"
+            "        return handle.read()\n"
+        )
+        writer = (
+            "def export(path, payload):\n"
+            "    with open(path, 'w') as handle:\n"
+            "        handle.write(payload)\n"
+        )
+        files = {
+            "pkg/service/snapshot.py": reader,
+            # Same raw write, but not on a persisted-path module.
+            "pkg/reports.py": writer,
+        }
+        assert analysis_codes(tmp_path, files) == []
+
+
+# ----------------------------------------------------------------------
+# KP011 — process-boundary safety (whole-program)
+# ----------------------------------------------------------------------
+class TestKP011:
+    def test_lambda_shipped_to_pool_triggers(self, tmp_path):
+        module = (
+            "from multiprocessing import Pool\n"
+            "def drive(items):\n"
+            "    with Pool(2) as pool:\n"
+            "        return list(pool.imap_unordered(lambda item: item, items))\n"
+        )
+        assert analysis_codes(tmp_path, {"pkg/driver.py": module}) == ["KP011"]
+
+    def test_closure_shipped_to_pool_triggers(self, tmp_path):
+        module = (
+            "from multiprocessing import Pool\n"
+            "def drive(items):\n"
+            "    def helper(item):\n"
+            "        return item\n"
+            "    with Pool(2) as pool:\n"
+            "        return pool.map(helper, items)\n"
+        )
+        assert analysis_codes(tmp_path, {"pkg/driver.py": module}) == ["KP011"]
+
+    def test_lock_in_initargs_triggers(self, tmp_path):
+        module = (
+            "from multiprocessing import Pool\n"
+            "def drive(snapshot, lock):\n"
+            "    with Pool(2, initializer=_setup, initargs=(snapshot, lock)) as pool:\n"
+            "        return pool\n"
+            "def _setup(snapshot, lock):\n"
+            "    return None\n"
+        )
+        assert analysis_codes(tmp_path, {"pkg/driver.py": module}) == ["KP011"]
+
+    def test_module_level_task_and_plain_data_are_clean(self, tmp_path):
+        module = (
+            "from multiprocessing import Pool\n"
+            "def _task(item):\n"
+            "    return item\n"
+            "def drive(items, snapshot):\n"
+            "    with Pool(2, initializer=_setup, initargs=(snapshot,)) as pool:\n"
+            "        return list(pool.imap_unordered(_task, items))\n"
+            "def _setup(snapshot):\n"
+            "    return None\n"
+        )
+        assert analysis_codes(tmp_path, {"pkg/driver.py": module}) == []
+
+
+# ----------------------------------------------------------------------
+# KP012 — no blocking I/O under a shared lock scope (whole-program)
+# ----------------------------------------------------------------------
+class TestKP012:
+    def test_fsync_under_write_lock_triggers(self, tmp_path):
+        server = (
+            "import os\n"
+            + _RWLOCK_STUB
+            + "class Server:\n"
+            "    def __init__(self):\n"
+            "        self._lock = RWLock()\n"
+            "    def flush(self, fd):\n"
+            "        with self._lock.write_locked():\n"
+            "            os.fsync(fd)\n"
+        )
+        assert analysis_codes(tmp_path, {"pkg/srv.py": server}) == ["KP012"]
+
+    def test_blocking_helper_inherits_the_lock_scope(self, tmp_path):
+        server = (
+            "import os\n"
+            + _RWLOCK_STUB
+            + "class Server:\n"
+            "    def __init__(self):\n"
+            "        self._lock = RWLock()\n"
+            "    def flush(self, fd):\n"
+            "        with self._lock.write_locked():\n"
+            "            self._sync(fd)\n"
+            "    def _sync(self, fd):\n"
+            "        os.fsync(fd)\n"
+        )
+        # Both the locked call site and the helper's own fsync (whose
+        # every analyzed caller holds the lock) are reported.
+        assert analysis_codes(tmp_path, {"pkg/srv.py": server}) == ["KP012", "KP012"]
+
+    def test_fsync_outside_the_lock_is_clean(self, tmp_path):
+        server = (
+            "import os\n"
+            + _RWLOCK_STUB
+            + "class Server:\n"
+            "    def __init__(self):\n"
+            "        self._lock = RWLock()\n"
+            "    def flush(self, fd):\n"
+            "        os.fsync(fd)\n"
+        )
+        assert analysis_codes(tmp_path, {"pkg/srv.py": server}) == []
+
+    def test_helper_also_called_unlocked_is_clean(self, tmp_path):
+        server = (
+            "import os\n"
+            + _RWLOCK_STUB
+            + "class Server:\n"
+            "    def __init__(self):\n"
+            "        self._lock = RWLock()\n"
+            "    def flush(self, fd):\n"
+            "        with self._lock.write_locked():\n"
+            "            self._sync(fd)  # noqa: KP012 flush stays exclusive\n"
+            "    def startup(self, fd):\n"
+            "        self._sync(fd)\n"
+            "    def _sync(self, fd):\n"
+            "        os.fsync(fd)\n"
+        )
+        # The entry context is the intersection over call paths: one
+        # unlocked caller means _sync() cannot assume the lock is held.
+        assert analysis_codes(tmp_path, {"pkg/srv.py": server}) == []
+
+    def test_noqa_suppresses_analysis_findings(self, tmp_path):
+        server = (
+            "import os\n"
+            + _RWLOCK_STUB
+            + "class Server:\n"
+            "    def __init__(self):\n"
+            "        self._lock = RWLock()\n"
+            "    def flush(self, fd):\n"
+            "        with self._lock.write_locked():\n"
+            "            os.fsync(fd)  # noqa: KP012 checkpoint by design\n"
+        )
+        assert analysis_codes(tmp_path, {"pkg/srv.py": server}) == []
+
+
+# ----------------------------------------------------------------------
 # suppression, parse errors, driver behaviour
 # ----------------------------------------------------------------------
 class TestSuppression:
@@ -254,7 +602,7 @@ def test_violation_render_format():
 
 
 def test_rule_catalogue_covers_all_codes():
-    assert set(RULE_CODES) == {f"KP00{i}" for i in range(0, 8)}
+    assert set(RULE_CODES) == {f"KP{i:03d}" for i in range(0, 13)}
 
 
 def test_iter_python_files_rejects_missing_path(tmp_path):

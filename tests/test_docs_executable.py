@@ -52,6 +52,6 @@ def test_readme_quickstart_block_runs():
     assert sorted(namespace["kp_core_vertices"](namespace["g"], k=2, p=2 / 3))
     index = namespace["index"]
     assert sorted(index.query(k=2, p=2 / 3)) == [0, 1, 2]
-    assert index.p_number(0, k=2) == pytest.approx(2 / 3)
+    assert index.p_number(0, k=2) == pytest.approx(2 / 3)  # noqa: KP002 exact-double oracle
     maintainer = namespace["maintainer"]
     assert sorted(maintainer.query(k=2, p=1.0)) == [0, 1, 2]

@@ -209,7 +209,7 @@ def test_maintainer_resumed_from_loaded_index_stays_exact(edges, seed):
     pn_maps = maintainer.index.pn_maps()
     assert set(pn_maps) == set(expected.arrays)
     for k, fixed in expected.arrays.items():
-        assert pn_maps[k] == fixed.pn_map()
+        assert pn_maps[k] == fixed.pn_map()  # noqa: KP002 exact-double oracle
 
 
 @given(edges_strategy, st.integers(0, 2**31))

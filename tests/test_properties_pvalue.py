@@ -49,7 +49,7 @@ def test_threshold_satisfies_its_defining_comparisons(p, degree):
 @given(p_strategy, degree_strategy)
 @settings(max_examples=400, deadline=None)
 def test_threshold_agrees_with_exact_rational_arithmetic(p, degree):
-    exact = math.ceil(Fraction(p) * degree) if p > 0.0 else 0
+    exact = math.ceil(Fraction(p) * degree) if p > 0.0 else 0  # noqa: KP001 reference fraction oracle
     a = fraction_threshold(p, degree)
     # Mathematically, ceil(p * degree) is the smallest a with the *exact*
     # rational a/degree >= p.  Under the library's float semantics the
