@@ -21,6 +21,7 @@ import os
 import platform
 from typing import Sequence
 
+from repro.bench.provenance import run_provenance
 from repro.bench.timing import measure
 from repro.core.decomposition import kp_core_decomposition
 from repro.core.peel_engines import DEFAULT_ENGINE, available_engines
@@ -72,6 +73,7 @@ def record_baseline(
         # Worker scaling only pays off when this is > 1; on a single-CPU
         # machine the workers>1 rows measure pure pool overhead.
         "cpus": os.cpu_count() or 1,
+        "provenance": run_provenance(),
         "entries": entries,
     }
 

@@ -24,7 +24,9 @@ import platform
 import tempfile
 from typing import Sequence
 
+from repro.bench.provenance import run_provenance
 from repro.bench.serving import run_differential_probes, run_serve_bench
+from repro.obs.quantiles import LATENCY_METHOD
 
 __all__ = ["main", "record_serving_baseline"]
 
@@ -64,6 +66,8 @@ def record_serving_baseline(
         "seed": seed,
         "python": platform.python_version(),
         "cpus": os.cpu_count(),
+        "latency_method": LATENCY_METHOD,
+        "provenance": run_provenance(),
         "entries": entries,
         "audits": audits,
     }

@@ -1,0 +1,50 @@
+"""Run provenance for bench writers: what produced these numbers.
+
+Every benchmark JSON written by this repository (the ``BENCH_*.json``
+baselines and the CLI's ``--json`` outputs) carries a ``provenance``
+block so ``repro bench diff`` can label what it is comparing — two runs
+of the same commit on the same machine, or apples against oranges.
+
+Kept deliberately small and dependency-free: the git commit comes from
+``git rev-parse`` with a graceful ``"unknown"`` fallback (baselines can
+be regenerated from a tarball), the timestamp is UTC ISO-8601.
+"""
+
+from __future__ import annotations
+
+import datetime
+import os
+import platform
+import subprocess
+import sys
+
+__all__ = ["run_provenance"]
+
+
+def _git_commit() -> str:
+    try:
+        result = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=10,
+            check=False,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+    commit = result.stdout.strip()
+    return commit if result.returncode == 0 and commit else "unknown"
+
+
+def run_provenance() -> dict[str, object]:
+    """The provenance block stamped into every bench JSON payload."""
+    return {
+        "git_commit": _git_commit(),
+        "recorded_at": datetime.datetime.now(datetime.timezone.utc).isoformat(
+            timespec="seconds"
+        ),
+        "python": platform.python_version(),
+        "implementation": sys.implementation.name,
+        "platform": platform.platform(),
+        "cpus": os.cpu_count() or 1,
+    }

@@ -15,6 +15,7 @@ __all__ = [
     "format_table",
     "print_table",
     "format_seconds",
+    "format_ms",
     "format_timing",
     "banner",
 ]
@@ -27,6 +28,11 @@ def format_seconds(seconds: float) -> str:
     if seconds < 1.0:
         return f"{seconds * 1e3:.2f}ms"
     return f"{seconds:.2f}s"
+
+
+def format_ms(milliseconds: float) -> str:
+    """Millisecond rendering used by latency and diff tables."""
+    return f"{milliseconds:.3f}ms"
 
 
 def format_timing(timing: "Timing") -> str:

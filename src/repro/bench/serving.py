@@ -32,6 +32,7 @@ from typing import Sequence
 from repro.errors import ParameterError
 from repro.graph.adjacency import Graph
 from repro.core.naive import naive_kp_core_vertices
+from repro.obs.quantiles import LATENCY_METHOD, ReservoirSketch, quantile
 from repro.service.durable import DurableMaintainer
 from repro.service.server import DEFAULT_CACHE_SIZE, KPCoreServer
 from repro.service.workload import (
@@ -44,13 +45,15 @@ __all__ = ["run_serve_bench", "run_differential_probes", "percentile"]
 
 
 def percentile(sorted_values: Sequence[float], q: float) -> float:
-    """The ``q``-quantile (0..1) of an ascending-sorted sample."""
-    if not sorted_values:
-        return 0.0
-    if not 0.0 <= q <= 1.0:
-        raise ParameterError(f"quantile must be in [0, 1], got {q}")
-    index = min(len(sorted_values) - 1, int(q * len(sorted_values)))
-    return sorted_values[index]
+    """The ``q``-quantile (0..1) of an ascending-sorted sample.
+
+    Delegates to the shared interpolated quantile
+    (:func:`repro.obs.quantiles.quantile`).  The previous index math
+    (``values[int(q * len)]``) truncated straight to the last order
+    statistic at the tail, which is why old baselines recorded
+    ``p99 == max`` on ~500-sample runs.
+    """
+    return quantile(sorted_values, q)
 
 
 def _reader(
@@ -131,9 +134,11 @@ def run_serve_bench(
     if errors:
         raise errors[0]
 
-    latencies.sort()
+    sketch = ReservoirSketch()
+    sketch.extend(latencies)
     return {
         "spec": spec.to_string(),
+        "workload_fingerprint": spec.fingerprint(),
         "seed": seed,
         "threads": threads,
         "cache": cache,
@@ -142,11 +147,12 @@ def run_serve_bench(
         "updates": len(updates),
         "elapsed_s": round(elapsed, 4),
         "qps": round(len(queries) / elapsed, 1) if elapsed > 0 else 0.0,
+        "latency_method": LATENCY_METHOD,
         "latency_ms": {
-            "p50": round(percentile(latencies, 0.50) * 1e3, 4),
-            "p95": round(percentile(latencies, 0.95) * 1e3, 4),
-            "p99": round(percentile(latencies, 0.99) * 1e3, 4),
-            "max": round(latencies[-1] * 1e3, 4) if latencies else 0.0,
+            "p50": round(sketch.quantile(0.50) * 1e3, 4),
+            "p95": round(sketch.quantile(0.95) * 1e3, 4),
+            "p99": round(sketch.quantile(0.99) * 1e3, 4),
+            "max": round(sketch.quantile(1.0) * 1e3, 4) if latencies else 0.0,
         },
         "cache_stats": {
             "hits": stats.hits,

@@ -229,6 +229,9 @@ def _cmd_index_serve_bench(args: argparse.Namespace) -> int:
     if args.json:
         import json as json_module
 
+        from repro.bench.provenance import run_provenance
+
+        result["provenance"] = run_provenance()
         with open(args.json, "w", encoding="utf-8") as handle:
             json_module.dump(result, handle, indent=2)
         print(f"wrote {args.json}")
@@ -283,6 +286,70 @@ def _cmd_profile(args: argparse.Namespace) -> int:
         snapshot.save(args.json)
         print(f"wrote metrics snapshot to {args.json}")
     return status
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    import json as json_module
+
+    from repro.bench.reporting import print_table
+    from repro.obs import names as metric_names
+    from repro.obs.trace import Tracer, set_tracer
+    from repro.obs.trace_export import (
+        attribution_rows,
+        chrome_payload,
+        slowest_rows,
+        validate_chrome_trace,
+        write_jsonl,
+    )
+
+    rest = list(args.argv)
+    if rest and rest[0] == "--":
+        rest = rest[1:]
+    if not rest:
+        print("error: trace needs a command to run, e.g. "
+              "`repro trace index serve-bench /tmp/state --threads 2`",
+              file=sys.stderr)
+        return 2
+    if rest[0] == "trace":
+        print("error: trace cannot wrap itself", file=sys.stderr)
+        return 2
+    tracer = Tracer(buffer_size=args.buffer)
+    previous = set_tracer(tracer)
+    try:
+        with tracer.span(metric_names.TRACE_COMMAND, command=" ".join(rest)):
+            status = main(rest)
+    finally:
+        set_tracer(previous)
+    events = tracer.events()
+    headers, rows = attribution_rows(events)
+    print_table(headers, rows, title=f"trace attribution: {' '.join(rest)}")
+    headers, rows = slowest_rows(events, args.top)
+    print_table(headers, rows, title=f"top {args.top} slowest spans")
+    if tracer.dropped:
+        print(f"note: ring buffer dropped {tracer.dropped} of "
+              f"{tracer.recorded} events (raise --buffer)")
+    payload = chrome_payload(events)
+    problems = validate_chrome_trace(payload)
+    if problems:
+        for problem in problems:
+            print(f"error: invalid trace export: {problem}", file=sys.stderr)
+        return 1
+    with open(args.json, "w", encoding="utf-8") as handle:
+        json_module.dump(payload, handle, indent=2, sort_keys=True)
+    print(f"\nwrote {len(events)} events to {args.json} "
+          "(load in chrome://tracing or https://ui.perfetto.dev)")
+    if args.jsonl:
+        write_jsonl(args.jsonl, events)
+        print(f"wrote raw events to {args.jsonl}")
+    return status
+
+
+def _cmd_bench_diff(args: argparse.Namespace) -> int:
+    from repro.bench.diffing import diff_files, render_diff
+
+    diff = diff_files(args.old, args.new, tolerance=args.tolerance)
+    print(render_diff(diff))
+    return 1 if diff.regressed else 0
 
 
 def _cmd_lint(args: argparse.Namespace) -> int:
@@ -504,6 +571,58 @@ def build_parser() -> argparse.ArgumentParser:
         "`kpcore builtin:facebook -k 4 -p 0.5`",
     )
     p_profile.set_defaults(func=_cmd_profile)
+
+    p_trace = sub.add_parser(
+        "trace",
+        help="run another repro command with per-request tracing on",
+        description="Runs the wrapped command with a tracer installed "
+        "(as if REPRO_TRACE=1), prints the latency attribution and "
+        "slowest-span tables, and writes a Chrome trace-event file "
+        "loadable in chrome://tracing or Perfetto.",
+    )
+    p_trace.add_argument(
+        "--json", metavar="FILE", default="trace.json",
+        help="Chrome trace-event output file (default: %(default)s)",
+    )
+    p_trace.add_argument(
+        "--jsonl", metavar="FILE",
+        help="also write the raw events as JSON lines",
+    )
+    p_trace.add_argument(
+        "--top", type=int, default=10, metavar="N",
+        help="slowest spans to list (default: %(default)s)",
+    )
+    p_trace.add_argument(
+        "--buffer", type=int, default=None, metavar="N",
+        help="ring-buffer capacity in events "
+        "(default: REPRO_TRACE_BUFFER or 65536)",
+    )
+    p_trace.add_argument(
+        "argv", nargs=argparse.REMAINDER, metavar="CMD",
+        help="the repro command to trace, e.g. "
+        "`index serve-bench /tmp/state --threads 2`",
+    )
+    p_trace.set_defaults(func=_cmd_trace)
+
+    p_bench = sub.add_parser(
+        "bench", help="benchmark-file utilities (regression diffing)"
+    )
+    bench_sub = p_bench.add_subparsers(dest="bench_command", required=True)
+    p_bdiff = bench_sub.add_parser(
+        "diff",
+        help="regression-diff two bench JSON files",
+        description="Matches entries of OLD and NEW on their identity "
+        "keys (dataset/engine/workers/spec/seed/threads/cache), compares "
+        "every directional metric, and exits nonzero when any metric "
+        "regressed beyond the tolerance or an entry disappeared.",
+    )
+    p_bdiff.add_argument("old", help="baseline bench JSON (e.g. BENCH_serve.json)")
+    p_bdiff.add_argument("new", help="fresh bench JSON to compare against it")
+    p_bdiff.add_argument(
+        "--tolerance", type=float, default=0.25, metavar="R",
+        help="relative change treated as noise (default: %(default)s)",
+    )
+    p_bdiff.set_defaults(func=_cmd_bench_diff)
 
     p_lint = sub.add_parser(
         "lint", help="run the repo-specific AST lint rules (KP001-KP012)"

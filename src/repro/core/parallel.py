@@ -17,21 +17,32 @@ and writes only its own ``(order, p_numbers)`` pair.  This module fans the
   identical to the serial run regardless of worker count or completion
   order.
 
-Engine counters incremented inside worker processes die with them; the
-parent re-derives the structural subset (rounds, peels, array sizes) from
-the returned arrays and adds scheduling counters of its own, so profiles
-of parallel runs stay comparable.
+Observability crosses the process boundary explicitly: when the parent
+has a collector (``REPRO_OBS``) each task runs under a fresh per-task
+:class:`~repro.obs.instrumentation.Instrumentation`, ships its snapshot
+back with the result, and the parent folds it in with
+:meth:`~repro.obs.instrumentation.Instrumentation.merge` — so counters of
+a parallel run equal the serial run's exactly (plus the scheduling
+counters only parallel runs have).  When the parent is tracing
+(``REPRO_TRACE``) the pool initializer carries the parent's
+``(trace_id, span_id)`` context, each task records its spans under a
+worker-local :class:`~repro.obs.trace.Tracer` parented to that context,
+and the events ride home with the result to be
+:meth:`~repro.obs.trace.Tracer.absorb`-ed into the parent buffer — one
+coherent trace across processes.
 """
 
 from __future__ import annotations
 
 import os
 from multiprocessing.pool import Pool
-from typing import Sequence
+from typing import Any, Sequence
 
 from repro.graph.compact import CompactAdjacency
 from repro.obs import names
-from repro.obs.instrumentation import get_collector
+from repro.obs.instrumentation import Instrumentation, get_collector, set_collector
+from repro.obs.snapshot import MetricsSnapshot
+from repro.obs.trace import Tracer, get_tracer, set_tracer
 
 __all__ = ["default_workers", "k_core_sizes", "peel_all_k"]
 
@@ -41,6 +52,11 @@ __all__ = ["default_workers", "k_core_sizes", "peel_all_k"]
 _snapshot: CompactAdjacency | None = None
 _core: list[int] | None = None
 _engine_name: str = ""
+_obs_on: bool = False
+#: One tracer per worker *process*, drained after every task — its span-id
+#: counter keeps advancing across tasks, so ids stay unique per pid even
+#: though each task ships its events separately.
+_worker_tracer: Tracer | None = None
 
 
 def default_workers() -> int:
@@ -61,21 +77,64 @@ def k_core_sizes(core: Sequence[int], degeneracy: int) -> list[int]:
     return sizes
 
 
-def _init_worker(snapshot: CompactAdjacency, core: list[int], engine: str) -> None:
+def _init_worker(
+    snapshot: CompactAdjacency,
+    core: list[int],
+    engine: str,
+    obs_on: bool,
+    trace_ctx: tuple[str, str | None] | None,
+) -> None:
     """Pool initializer: pin the shared read-only inputs in this process."""
-    global _snapshot, _core, _engine_name
+    global _snapshot, _core, _engine_name, _obs_on, _worker_tracer
     _snapshot = snapshot
     _core = core
     _engine_name = engine
+    _obs_on = obs_on
+    _worker_tracer = Tracer(context=trace_ctx) if trace_ctx is not None else None
 
 
-def _peel_task(k: int) -> tuple[int, list[int], list[float], int]:
-    """One fixed-``k`` peel in a worker; returns ``(k, order, pns, pid)``."""
+def _peel_task(
+    k: int,
+) -> tuple[
+    int,
+    list[int],
+    list[float],
+    int,
+    dict[str, Any] | None,
+    list[dict[str, Any]] | None,
+]:
+    """One fixed-``k`` peel in a worker.
+
+    Returns ``(k, order, pns, pid, metrics_payload, events_payload)``;
+    the payloads are ``None`` unless the parent asked for them through
+    the initializer flags.
+    """
     from repro.core.peel_engines import get_engine
 
     assert _snapshot is not None and _core is not None
-    order, p_numbers = get_engine(_engine_name)(_snapshot, _core, k)
-    return k, order, p_numbers, os.getpid()
+    engine = get_engine(_engine_name)
+    task_obs = Instrumentation() if _obs_on else None
+    task_tracer = _worker_tracer
+    previous_obs = set_collector(task_obs) if task_obs is not None else None
+    previous_tracer = (
+        set_tracer(task_tracer) if task_tracer is not None else None
+    )
+    try:
+        order, p_numbers = engine(_snapshot, _core, k)
+    finally:
+        if task_obs is not None:
+            set_collector(previous_obs)
+        if task_tracer is not None:
+            set_tracer(previous_tracer)
+    metrics_payload = (
+        task_obs.snapshot().to_dict() if task_obs is not None else None
+    )
+    if task_tracer is not None:
+        events_payload = [event.to_dict() for event in task_tracer.events()]
+        task_tracer.clear()
+    else:
+        events_payload = None
+    return k, order, p_numbers, os.getpid(), metrics_payload, events_payload
 
 
 def peel_all_k(
@@ -93,6 +152,9 @@ def peel_all_k(
     the number of tasks; callers guarantee ``workers >= 1`` and that the
     snapshot's neighbour lists are already rank-sorted.
     """
+    obs = get_collector()
+    tracer = get_tracer()
+    trace_ctx = tracer.context() if tracer is not None else None
     sizes = k_core_sizes(core, degeneracy)
     ks = sorted(range(1, degeneracy + 1), key=lambda k: (-sizes[k], k))
     pool_size = min(workers, len(ks))
@@ -101,22 +163,21 @@ def peel_all_k(
     with Pool(
         processes=pool_size,
         initializer=_init_worker,
-        initargs=(snapshot, list(core), engine),
+        initargs=(snapshot, list(core), engine, obs is not None, trace_ctx),
     ) as pool:
-        for k, order, p_numbers, pid in pool.imap_unordered(
-            _peel_task, ks, chunksize=1
+        for k, order, p_numbers, pid, metrics_payload, events_payload in (
+            pool.imap_unordered(_peel_task, ks, chunksize=1)
         ):
             results[k] = (order, p_numbers)
             tasks_per_pid[pid] = tasks_per_pid.get(pid, 0) + 1
-    obs = get_collector()
+            if obs is not None and metrics_payload is not None:
+                # Fold the worker's per-task counters in verbatim: the
+                # engines record the same metrics they do serially, so
+                # parallel profiles match serial ones exactly.
+                obs.merge(MetricsSnapshot.from_dict(metrics_payload))
+            if tracer is not None and events_payload is not None:
+                tracer.absorb(events_payload)
     if obs is not None:
-        # Structural engine-counter parity (the worker-side increments are
-        # lost with the worker processes): one round batch per k, one peel
-        # per array entry, one array-size sample per k.
-        obs.add(names.DECOMP_ROUNDS, len(ks))
-        for order, _ in results.values():
-            obs.add(names.DECOMP_PEELS, len(order))
-            obs.observe(names.DECOMP_ARRAY_SIZE, len(order))
         obs.add(names.DECOMP_PARALLEL_TASKS, len(ks))
         for count in tasks_per_pid.values():
             obs.observe(names.DECOMP_PARALLEL_WORKERS, count)

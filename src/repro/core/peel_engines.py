@@ -32,6 +32,7 @@ engines byte-comparable and the output machine-independent.
 
 from __future__ import annotations
 
+import time
 from heapq import heapify, heappop, heappush
 from typing import Callable, Sequence
 
@@ -39,6 +40,7 @@ from repro.errors import ParameterError
 from repro.graph.compact import CompactAdjacency
 from repro.obs import names
 from repro.obs.instrumentation import get_collector
+from repro.obs.trace import get_tracer
 
 __all__ = [
     "DEFAULT_ENGINE",
@@ -90,6 +92,10 @@ def peel_fixed_k_heap(
     ``core`` must be the core numbers of the snapshot and the snapshot's
     neighbour lists must already be sorted by descending core number.
     """
+    # Tracer fetched once, checked per call — never inside the peel loop
+    # (the KP007 discipline extends to trace events).
+    tracer = get_tracer()
+    trace_start = time.perf_counter() if tracer is not None else 0.0
     members = [v for v in range(snapshot.num_vertices) if core[v] >= k]
     if not members:
         return [], []
@@ -156,6 +162,15 @@ def peel_fixed_k_heap(
         obs.add(names.DECOMP_REKEYS, rekeys)
         obs.add(names.DECOMP_DEGREE_VIOLATIONS, degree_violations)
         obs.observe(names.DECOMP_ARRAY_SIZE, len(order))
+    if tracer is not None:
+        tracer.record(
+            names.TRACE_PEEL_FIXED_K,
+            trace_start,
+            time.perf_counter(),
+            k=k,
+            engine="heap",
+            vertices=len(order),
+        )
     return order, p_numbers
 
 
@@ -167,6 +182,10 @@ def peel_fixed_k_bucket(
     ``core`` must be the core numbers of the snapshot and the snapshot's
     neighbour lists must already be sorted by descending core number.
     """
+    # Tracer fetched once, checked per call — never inside the peel loop
+    # (the KP007 discipline extends to trace events).
+    tracer = get_tracer()
+    trace_start = time.perf_counter() if tracer is not None else 0.0
     members = [v for v in range(snapshot.num_vertices) if core[v] >= k]
     if not members:
         return [], []
@@ -276,6 +295,15 @@ def peel_fixed_k_bucket(
         obs.add(names.DECOMP_BUCKET_MOVES, bucket_moves)
         obs.observe(names.DECOMP_BUCKET_LEVELS, len(levels))
         obs.observe(names.DECOMP_ARRAY_SIZE, len(order))
+    if tracer is not None:
+        tracer.record(
+            names.TRACE_PEEL_FIXED_K,
+            trace_start,
+            time.perf_counter(),
+            k=k,
+            engine="bucket",
+            vertices=len(order),
+        )
     return order, p_numbers
 
 

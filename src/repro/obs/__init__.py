@@ -11,7 +11,14 @@ collects exactly those quantities:
 * :mod:`repro.obs.names` — the documented metric catalog,
 * :mod:`repro.obs.snapshot` — immutable, JSON-round-trippable exports,
 * :mod:`repro.obs.report` — aligned-table rendering,
-* :mod:`repro.obs.logsink` — structured ``logging`` emission.
+* :mod:`repro.obs.logsink` — structured ``logging`` emission,
+* :mod:`repro.obs.trace` — opt-in per-request traces (``REPRO_TRACE=1``
+  or :func:`tracing`): trace IDs and trees of timed spans with
+  attributes, cross-process propagation for the worker pool,
+* :mod:`repro.obs.trace_export` — JSONL and Chrome trace-event
+  exporters plus the latency attribution tables,
+* :mod:`repro.obs.quantiles` — shared interpolated-quantile math and
+  the bounded :class:`~repro.obs.quantiles.ReservoirSketch`.
 
 Usage::
 
@@ -42,21 +49,49 @@ from repro.obs.instrumentation import (
     set_collector,
 )
 from repro.obs.logsink import log_snapshot, span_logger
+from repro.obs.quantiles import LATENCY_METHOD, ReservoirSketch, quantile
 from repro.obs.report import render_report
 from repro.obs.snapshot import HistogramSummary, MetricsSnapshot, SpanSummary
+from repro.obs.trace import (
+    TRACE_ENV_VAR,
+    NullTraceSpan,
+    TraceEvent,
+    Tracer,
+    TraceSpan,
+    get_tracer,
+    maybe_trace_span,
+    refresh_trace_from_env,
+    set_tracer,
+    trace_active,
+    tracing,
+)
 
 __all__ = [
     "ENV_VAR",
+    "TRACE_ENV_VAR",
+    "LATENCY_METHOD",
     "Instrumentation",
     "MetricsSnapshot",
     "HistogramSummary",
     "SpanSummary",
+    "Tracer",
+    "TraceEvent",
+    "TraceSpan",
+    "NullTraceSpan",
     "collecting",
     "collection_active",
     "get_collector",
     "set_collector",
     "refresh_from_env",
     "maybe_span",
+    "trace_active",
+    "get_tracer",
+    "set_tracer",
+    "refresh_trace_from_env",
+    "tracing",
+    "maybe_trace_span",
+    "quantile",
+    "ReservoirSketch",
     "render_report",
     "log_snapshot",
     "span_logger",

@@ -148,6 +148,39 @@ class Instrumentation:
             },
         )
 
+    def merge(self, snapshot: MetricsSnapshot) -> None:
+        """Fold a detached snapshot into this collector.
+
+        Counters add, histograms fold count/total/min/max, span paths
+        add count/seconds.  This is how worker-process metrics rejoin
+        the parent collector after a :mod:`repro.core.parallel` run.
+        """
+        for name, value in snapshot.counters.items():
+            self.inc(name, value)
+        for name, summary in snapshot.histograms.items():
+            hist = self._hists.get(name)
+            if hist is None:
+                self._hists[name] = [
+                    summary.count,
+                    summary.total,
+                    summary.minimum,
+                    summary.maximum,
+                ]
+                continue
+            hist[0] += summary.count
+            hist[1] += summary.total
+            if summary.minimum < hist[2]:
+                hist[2] = summary.minimum
+            if summary.maximum > hist[3]:
+                hist[3] = summary.maximum
+        for path, span_summary in snapshot.spans.items():
+            span = self._spans.get(path)
+            if span is None:
+                self._spans[path] = [span_summary.count, span_summary.seconds]
+            else:
+                span[0] += span_summary.count
+                span[1] += span_summary.seconds
+
     def reset(self) -> None:
         """Drop every collected metric (open span nesting is preserved)."""
         self._counters.clear()

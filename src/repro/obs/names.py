@@ -13,7 +13,7 @@ nested wall-clock sections.
 
 from __future__ import annotations
 
-__all__ = ["COUNTERS", "HISTOGRAMS", "SPANS", "catalog"]
+__all__ = ["COUNTERS", "HISTOGRAMS", "SPANS", "TRACES", "catalog"]
 
 # ----------------------------------------------------------------------
 # k-core peeling (repro.kcore.compute) — Algorithm 1's engine
@@ -121,6 +121,27 @@ KORDER_LEVELS_REBUILT = "korder.levels_rebuilt"
 KORDER_VERTICES_SHIFTED = "korder.vertices_shifted"
 KORDER_CHAIN_LENGTH = "korder.chain_length"
 
+# ----------------------------------------------------------------------
+# per-request trace spans (repro.obs.trace) — opt-in via REPRO_TRACE
+# ----------------------------------------------------------------------
+TRACE_COMMAND = "trace.command"
+TRACE_SERVER_QUERY = "trace.server.query"
+TRACE_SERVER_QUERY_MANY = "trace.server.query_many"
+TRACE_SERVER_QUERY_ONE = "trace.server.query_one"
+TRACE_SERVER_APPLY = "trace.server.apply"
+TRACE_SERVER_INSERT = "trace.server.insert_edge"
+TRACE_SERVER_DELETE = "trace.server.delete_edge"
+TRACE_SERVER_CHECKPOINT = "trace.server.checkpoint"
+TRACE_LOCK_READ_WAIT = "trace.lock.read.wait"
+TRACE_LOCK_READ_HOLD = "trace.lock.read.hold"
+TRACE_LOCK_WRITE_WAIT = "trace.lock.write.wait"
+TRACE_LOCK_WRITE_HOLD = "trace.lock.write.hold"
+TRACE_CACHE_PROBE = "trace.cache.probe"
+TRACE_CACHE_FILL = "trace.cache.fill"
+TRACE_CACHE_PURGE = "trace.cache.purge"
+TRACE_QUERY_ANSWER = "trace.query.answer"
+TRACE_PEEL_FIXED_K = "trace.peel.fixed_k"
+
 #: name -> one-line description, grouped by kind, for the docs and report
 COUNTERS: dict[str, str] = {
     KCORE_PEEL_CALLS: "threshold-peel invocations (kCoreComp/kpCoreComp)",
@@ -201,10 +222,32 @@ SPANS: dict[str, str] = {
 }
 
 
+TRACES: dict[str, str] = {
+    TRACE_COMMAND: "root span of a `repro trace <cmd>` run",
+    TRACE_SERVER_QUERY: "one KPCoreServer.query request",
+    TRACE_SERVER_QUERY_MANY: "one KPCoreServer.query_many batch",
+    TRACE_SERVER_QUERY_ONE: "one (k, p) pair inside a query_many batch",
+    TRACE_SERVER_APPLY: "one KPCoreServer.apply update batch",
+    TRACE_SERVER_INSERT: "one KPCoreServer.insert_edge update",
+    TRACE_SERVER_DELETE: "one KPCoreServer.delete_edge update",
+    TRACE_SERVER_CHECKPOINT: "one KPCoreServer.checkpoint",
+    TRACE_LOCK_READ_WAIT: "time blocked acquiring the read lock (per site)",
+    TRACE_LOCK_READ_HOLD: "time the read lock was held (per site)",
+    TRACE_LOCK_WRITE_WAIT: "time blocked acquiring the write lock (per site)",
+    TRACE_LOCK_WRITE_HOLD: "time the write lock was held (per site)",
+    TRACE_CACHE_PROBE: "QueryCache lookup (hit or miss)",
+    TRACE_CACHE_FILL: "QueryCache insert of a freshly computed answer",
+    TRACE_CACHE_PURGE: "QueryCache invalidation of changed-version entries",
+    TRACE_QUERY_ANSWER: "Algorithm 3 answer build on a cache miss",
+    TRACE_PEEL_FIXED_K: "one fixed-k peel (per worker when parallel)",
+}
+
+
 def catalog() -> dict[str, dict[str, str]]:
     """``{kind: {name: description}}`` — the documented metric surface."""
     return {
         "counters": dict(COUNTERS),
         "histograms": dict(HISTOGRAMS),
         "spans": dict(SPANS),
+        "traces": dict(TRACES),
     }

@@ -1,0 +1,176 @@
+"""Shared quantile math: interpolated percentiles and a reservoir sketch.
+
+The serving benchmark used to compute percentiles with
+``values[int(q * len(values))]`` — on a ~488-sample run that truncation
+makes ``p99`` land on the last order statistic, i.e. ``p99 == max``,
+which is exactly the degenerate tail the committed ``BENCH_serve.json``
+showed.  This module is the one home for latency summary math so every
+reporter (serve bench, trace attribution, ``bench diff``) agrees on the
+method.
+
+:func:`quantile` is the linearly interpolated quantile over a sorted
+sample (the numpy/Excel ``linear`` definition): rank position
+``q * (n - 1)`` blended between the two bracketing order statistics.
+
+:class:`ReservoirSketch` bounds memory for long benchmark runs: up to
+``capacity`` samples are kept exactly; beyond that, classic reservoir
+sampling (Vitter's Algorithm R with a deterministic seeded RNG) keeps a
+uniform sample.  ``count``/``total``/``min``/``max`` stay exact
+regardless, and quantiles are exact whenever the stream fit in the
+reservoir — which covers every committed baseline workload.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, Sequence
+
+from repro.errors import ParameterError
+
+__all__ = ["LATENCY_METHOD", "quantile", "ReservoirSketch"]
+
+#: Tag written into bench JSON so diffs know which math produced the
+#: numbers (the pre-fix files carry no tag at all).
+LATENCY_METHOD = "interpolated-reservoir"
+
+#: Reservoir capacity default: exact quantiles for any run up to this
+#: many samples, bounded memory beyond.
+DEFAULT_CAPACITY = 4096
+
+
+def quantile(sorted_values: Sequence[float], q: float) -> float:
+    """Linearly interpolated ``q``-quantile of an ascending sample.
+
+    >>> quantile([1.0, 2.0, 3.0, 4.0], 0.5)
+    2.5
+    >>> quantile([1.0, 2.0, 3.0, 4.0], 1.0)
+    4.0
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ParameterError(f"quantile q must be in [0, 1], got {q}")
+    n = len(sorted_values)
+    if n == 0:
+        return 0.0
+    if n == 1:
+        return float(sorted_values[0])
+    pos = q * (n - 1)
+    lo = int(pos)
+    hi = min(lo + 1, n - 1)
+    frac = pos - lo
+    return float(sorted_values[lo]) * (1.0 - frac) + float(sorted_values[hi]) * frac
+
+
+class ReservoirSketch:
+    """Streaming sample summarizer with exact extremes and interpolated
+    quantiles over a bounded uniform reservoir.
+
+    Deterministic for a fixed seed, so benchmark reruns on the same
+    workload produce identical summaries.
+
+    >>> sketch = ReservoirSketch()
+    >>> for v in [5.0, 1.0, 3.0, 2.0, 4.0]:
+    ...     sketch.add(v)
+    >>> sketch.count, sketch.minimum, sketch.maximum
+    (5, 1.0, 5.0)
+    >>> sketch.quantile(0.5)
+    3.0
+    """
+
+    __slots__ = (
+        "capacity",
+        "count",
+        "total",
+        "minimum",
+        "maximum",
+        "_sample",
+        "_rng",
+        "_sorted",
+        "_dirty",
+    )
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY, seed: int = 0) -> None:
+        if capacity < 1:
+            raise ParameterError(
+                f"reservoir capacity must be >= 1, got {capacity}"
+            )
+        self.capacity = capacity
+        self.count = 0
+        self.total = 0.0
+        self.minimum = float("inf")
+        self.maximum = float("-inf")
+        self._sample: list[float] = []
+        self._rng = random.Random(seed)
+        self._sorted: list[float] = []
+        self._dirty = False
+
+    def add(self, value: float) -> None:
+        """Feed one observation into the sketch."""
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if value < self.minimum:
+            self.minimum = value
+        if value > self.maximum:
+            self.maximum = value
+        if len(self._sample) < self.capacity:
+            self._sample.append(value)
+            self._dirty = True
+        else:
+            slot = self._rng.randrange(self.count)
+            if slot < self.capacity:
+                self._sample[slot] = value
+                self._dirty = True
+
+    def extend(self, values: Iterable[float]) -> None:
+        for value in values:
+            self.add(value)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    @property
+    def exact(self) -> bool:
+        """Whether every observation is still in the reservoir."""
+        return self.count <= self.capacity
+
+    def _sorted_sample(self) -> list[float]:
+        if self._dirty:
+            self._sorted = sorted(self._sample)
+            self._dirty = False
+        return self._sorted
+
+    def quantile(self, q: float) -> float:
+        """Interpolated ``q``-quantile; ``q`` of 0/1 return the exact
+        stream min/max even when the reservoir has been subsampling."""
+        if not 0.0 <= q <= 1.0:
+            raise ParameterError(f"quantile q must be in [0, 1], got {q}")
+        if self.count == 0:
+            return 0.0
+        if q == 0.0:
+            return self.minimum
+        if q == 1.0:
+            return self.maximum
+        return quantile(self._sorted_sample(), q)
+
+    def summary(self) -> dict[str, float | int | str]:
+        """The standard latency block written into bench JSON."""
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "p50": self.quantile(0.50),
+            "p95": self.quantile(0.95),
+            "p99": self.quantile(0.99),
+            "max": self.maximum if self.count else 0.0,
+            "min": self.minimum if self.count else 0.0,
+            "method": LATENCY_METHOD,
+        }
+
+    def __len__(self) -> int:
+        return len(self._sample)
+
+    def __repr__(self) -> str:
+        return (
+            f"ReservoirSketch(count={self.count}, capacity={self.capacity}, "
+            f"exact={self.exact})"
+        )

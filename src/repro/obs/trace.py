@@ -1,0 +1,486 @@
+"""Per-request tracing: trace IDs, nested timed spans, a ring-buffer recorder.
+
+Where :mod:`repro.obs.instrumentation` answers "how much work happened in
+aggregate", this module answers "where did *this* request's time go".  A
+trace is a tree of timed spans sharing one trace ID: the serving layer
+opens a root span per query/update, and the instrumented sections below
+it (lock wait/hold, cache probe/fill/purge, Algorithm 3 answer builds,
+per-``k`` peels) attach themselves as children.
+
+Design constraints, mirroring the metrics layer:
+
+* **Disabled is the default and must stay near free.**  Every
+  instrumented site fetches the active tracer once per call
+  (:func:`get_tracer`) and branches on the cached result; the peeling
+  loops themselves are never touched (rule KP007 covers the trace call
+  names too).
+* **Enabled via environment or explicitly.**  ``REPRO_TRACE=1`` installs
+  a process-wide tracer at import time; :func:`tracing` scopes one to a
+  ``with`` block (the programmatic equivalent used by ``python -m repro
+  trace``).
+* **Bounded memory.**  Completed spans land in a ring buffer
+  (:data:`DEFAULT_BUFFER_SIZE` events, override with
+  ``REPRO_TRACE_BUFFER``); the oldest events are dropped, and
+  :attr:`Tracer.dropped` says how many.
+
+Cross-process propagation: :meth:`Tracer.context` captures ``(trace_id,
+span_id)`` of the innermost open span, worker processes build their own
+``Tracer(context=...)`` so their spans parent correctly, and the parent
+absorbs the serialized events back with :meth:`Tracer.absorb` — see
+:mod:`repro.core.parallel` for the pool wiring.
+
+Timestamps are wall-clock anchored (``time.time`` at tracer creation
+plus ``time.perf_counter`` deltas), so events merged from several
+processes order sensibly on one timeline.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import threading
+import time
+from collections import deque
+from contextlib import contextmanager
+from typing import Any, Iterable, Iterator, Mapping
+
+from repro.errors import ParameterError
+
+__all__ = [
+    "TRACE_ENV_VAR",
+    "BUFFER_ENV_VAR",
+    "DEFAULT_BUFFER_SIZE",
+    "TraceEvent",
+    "TraceSpan",
+    "NullTraceSpan",
+    "NULL_TRACE_SPAN",
+    "Tracer",
+    "trace_active",
+    "get_tracer",
+    "set_tracer",
+    "refresh_trace_from_env",
+    "tracing",
+    "maybe_trace_span",
+]
+
+#: Environment variable that switches per-request tracing on.
+TRACE_ENV_VAR = "REPRO_TRACE"
+
+#: Environment variable overriding the ring-buffer capacity (events).
+BUFFER_ENV_VAR = "REPRO_TRACE_BUFFER"
+
+#: Default ring-buffer capacity: completed spans kept before dropping.
+DEFAULT_BUFFER_SIZE = 65536
+
+_TRUTHY = frozenset({"1", "true", "yes", "on"})
+
+
+def _env_active(value: str | None) -> bool:
+    return value is not None and value.strip().lower() in _TRUTHY
+
+
+def _env_buffer_size() -> int:
+    raw = os.environ.get(BUFFER_ENV_VAR)
+    if raw is None:
+        return DEFAULT_BUFFER_SIZE
+    try:
+        size = int(raw)
+    except ValueError:
+        return DEFAULT_BUFFER_SIZE
+    return size if size >= 1 else DEFAULT_BUFFER_SIZE
+
+
+class TraceEvent:
+    """One completed timed section of a trace.
+
+    ``ts`` is wall-clock seconds (epoch), ``dur`` is seconds.  ``attrs``
+    carries the span attributes (``k``, ``p``, ``cache_hit``, ...);
+    ``parent_id`` is ``None`` for trace roots.  IDs are strings of the
+    form ``pid.counter`` so events merged across processes never
+    collide.
+    """
+
+    __slots__ = (
+        "name",
+        "trace_id",
+        "span_id",
+        "parent_id",
+        "ts",
+        "dur",
+        "pid",
+        "tid",
+        "thread",
+        "attrs",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        trace_id: str,
+        span_id: str,
+        parent_id: str | None,
+        ts: float,
+        dur: float,
+        pid: int,
+        tid: int,
+        thread: str,
+        attrs: dict[str, Any],
+    ) -> None:
+        self.name = name
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.ts = ts
+        self.dur = dur
+        self.pid = pid
+        self.tid = tid
+        self.thread = thread
+        self.attrs = attrs
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-friendly form (and the pickle shipped across the pool)."""
+        return {
+            "name": self.name,
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "ts": self.ts,
+            "dur": self.dur,
+            "pid": self.pid,
+            "tid": self.tid,
+            "thread": self.thread,
+            "attrs": dict(self.attrs),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "TraceEvent":
+        return cls(
+            name=str(payload["name"]),
+            trace_id=str(payload["trace_id"]),
+            span_id=str(payload["span_id"]),
+            parent_id=(
+                None
+                if payload.get("parent_id") is None
+                else str(payload["parent_id"])
+            ),
+            ts=float(payload["ts"]),
+            dur=float(payload["dur"]),
+            pid=int(payload["pid"]),
+            tid=int(payload["tid"]),
+            thread=str(payload.get("thread", "")),
+            attrs=dict(payload.get("attrs", {})),
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"TraceEvent({self.name!r}, trace={self.trace_id}, "
+            f"span={self.span_id}, dur={self.dur:.6f}s)"
+        )
+
+
+class TraceSpan:
+    """An open span; a context manager handed out by :meth:`Tracer.span`.
+
+    Entering pushes the span onto the thread's stack (so nested spans and
+    :meth:`Tracer.record` calls parent under it); exiting pops and
+    records the completed :class:`TraceEvent`.  Attributes may be added
+    while open via :meth:`set`.
+    """
+
+    __slots__ = ("_tracer", "name", "attrs", "trace_id", "span_id", "parent_id", "_start")
+
+    def __init__(self, tracer: "Tracer", name: str, attrs: dict[str, Any]) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.attrs = attrs
+        self.trace_id = ""
+        self.span_id = ""
+        self.parent_id: str | None = None
+        self._start = 0.0
+
+    def set(self, name: str, value: Any) -> None:
+        """Attach (or overwrite) one attribute of the open span."""
+        self.attrs[name] = value
+
+    def __enter__(self) -> "TraceSpan":
+        tracer = self._tracer
+        stack = tracer._stack()
+        self.trace_id, self.parent_id = tracer._frame(stack)
+        self.span_id = tracer._new_span_id()
+        stack.append((self.trace_id, self.span_id))
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        end = time.perf_counter()
+        tracer = self._tracer
+        tracer._stack().pop()
+        tracer._append(
+            TraceEvent(
+                name=self.name,
+                trace_id=self.trace_id,
+                span_id=self.span_id,
+                parent_id=self.parent_id,
+                ts=tracer._to_wall(self._start),
+                dur=end - self._start,
+                pid=tracer._pid,
+                tid=threading.get_ident(),
+                thread=threading.current_thread().name,
+                attrs=self.attrs,
+            )
+        )
+
+
+class NullTraceSpan:
+    """Reusable no-op span for disabled tracing (stateless singleton)."""
+
+    __slots__ = ()
+
+    def set(self, name: str, value: Any) -> None:
+        return None
+
+    def __enter__(self) -> "NullTraceSpan":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        return None
+
+
+#: The shared no-op span returned by :func:`maybe_trace_span` when off.
+NULL_TRACE_SPAN = NullTraceSpan()
+
+
+class Tracer:
+    """Recorder of one process's trace events, with a bounded buffer.
+
+    Span entry/exit and :meth:`record` are safe to call from several
+    threads at once (each thread keeps its own span stack; the buffer
+    append is atomic under the GIL).  A tracer created with ``context=
+    (trace_id, span_id)`` parents its root spans under that foreign
+    span instead of opening fresh traces — the worker-process half of
+    cross-process propagation.
+    """
+
+    def __init__(
+        self,
+        buffer_size: int | None = None,
+        context: tuple[str, str | None] | None = None,
+    ) -> None:
+        if buffer_size is None:
+            buffer_size = _env_buffer_size()
+        if buffer_size < 1:
+            raise ParameterError(
+                f"trace buffer size must be >= 1, got {buffer_size}"
+            )
+        self.buffer_size = buffer_size
+        self._events: deque[TraceEvent] = deque(maxlen=buffer_size)
+        self._recorded = 0
+        self._ids = itertools.count(1)
+        self._local = threading.local()
+        self._context = context
+        self._pid = os.getpid()
+        self._anchor_wall = time.time()
+        self._anchor_perf = time.perf_counter()
+
+    # ------------------------------------------------------------------
+    # internals shared by spans and record()
+    # ------------------------------------------------------------------
+    def _stack(self) -> list[tuple[str, str]]:
+        stack: list[tuple[str, str]] | None = getattr(
+            self._local, "stack", None
+        )
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    def _frame(
+        self, stack: list[tuple[str, str]]
+    ) -> tuple[str, str | None]:
+        """``(trace_id, parent_span_id)`` for a section starting now."""
+        if stack:
+            return stack[-1]
+        if self._context is not None:
+            return self._context
+        return self._new_trace_id(), None
+
+    def _new_trace_id(self) -> str:
+        return f"t{self._pid:x}.{next(self._ids):x}"
+
+    def _new_span_id(self) -> str:
+        return f"{self._pid:x}.{next(self._ids):x}"
+
+    def _to_wall(self, perf_time: float) -> float:
+        return self._anchor_wall + (perf_time - self._anchor_perf)
+
+    def _append(self, event: TraceEvent) -> None:
+        self._recorded += 1
+        self._events.append(event)
+
+    # ------------------------------------------------------------------
+    # recording
+    # ------------------------------------------------------------------
+    def span(self, name: str, **attrs: Any) -> TraceSpan:
+        """An open span context manager::
+
+            with tracer.span("server.query", k=k, p=p) as span:
+                ...
+                span.set("answer_size", len(answer))
+        """
+        return TraceSpan(self, name, dict(attrs))
+
+    def record(
+        self, name: str, start: float, end: float, **attrs: Any
+    ) -> TraceEvent:
+        """Record an already-measured section (``time.perf_counter``
+        readings) as a child of the current open span.
+
+        The instrumentation shape for sites that cannot wrap their work
+        in a ``with`` block — lock acquisition waits, for example.
+        """
+        stack = self._stack()
+        trace_id, parent_id = self._frame(stack)
+        event = TraceEvent(
+            name=name,
+            trace_id=trace_id,
+            span_id=self._new_span_id(),
+            parent_id=parent_id,
+            ts=self._to_wall(start),
+            dur=max(0.0, end - start),
+            pid=self._pid,
+            tid=threading.get_ident(),
+            thread=threading.current_thread().name,
+            attrs=dict(attrs),
+        )
+        self._append(event)
+        return event
+
+    # ------------------------------------------------------------------
+    # cross-process propagation
+    # ------------------------------------------------------------------
+    def context(self) -> tuple[str, str | None]:
+        """``(trace_id, span_id)`` of this thread's innermost open span.
+
+        Ship it to a worker process and build ``Tracer(context=ctx)``
+        there; the worker's root spans then join this trace as children
+        of the captured span.
+        """
+        return self._frame(self._stack())
+
+    def absorb(self, payloads: Iterable[Mapping[str, Any]]) -> int:
+        """Merge serialized events (``TraceEvent.to_dict`` dicts) from a
+        worker process into this buffer; returns how many were added."""
+        count = 0
+        for payload in payloads:
+            self._append(TraceEvent.from_dict(payload))
+            count += 1
+        return count
+
+    # ------------------------------------------------------------------
+    # export / lifecycle
+    # ------------------------------------------------------------------
+    def events(self) -> list[TraceEvent]:
+        """The buffered events, oldest first (a detached copy)."""
+        return list(self._events)
+
+    @property
+    def recorded(self) -> int:
+        """Total events ever recorded (including dropped ones)."""
+        return self._recorded
+
+    @property
+    def dropped(self) -> int:
+        """Events pushed out of the ring buffer by newer ones."""
+        return self._recorded - len(self._events)
+
+    def clear(self) -> None:
+        """Drop every buffered event (open span stacks are preserved)."""
+        self._events.clear()
+        self._recorded = 0
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __repr__(self) -> str:
+        return (
+            f"Tracer(events={len(self._events)}, dropped={self.dropped}, "
+            f"buffer_size={self.buffer_size})"
+        )
+
+
+# ----------------------------------------------------------------------
+# process-wide tracing switch (mirrors the metrics collector switch)
+# ----------------------------------------------------------------------
+_tracer: Tracer | None = (
+    Tracer() if _env_active(os.environ.get(TRACE_ENV_VAR)) else None
+)
+
+
+def trace_active() -> bool:
+    """Whether a tracer is currently installed."""
+    return _tracer is not None
+
+
+def get_tracer() -> Tracer | None:
+    """The active tracer, or ``None`` when tracing is off.
+
+    Hot paths call this once per invocation and branch on the cached
+    result — never inside their loops (rule KP007).
+    """
+    return _tracer
+
+
+def set_tracer(tracer: Tracer | None) -> Tracer | None:
+    """Install (or clear) the process-wide tracer; returns the previous
+    one so callers can restore it."""
+    global _tracer
+    previous = _tracer
+    _tracer = tracer
+    return previous
+
+
+def refresh_trace_from_env() -> bool:
+    """Re-read :data:`TRACE_ENV_VAR`; installs/clears the tracer.
+
+    Returns the resulting active state.  An already-installed tracer is
+    kept (not replaced) when the environment still says on.
+    """
+    global _tracer
+    if _env_active(os.environ.get(TRACE_ENV_VAR)):
+        if _tracer is None:
+            _tracer = Tracer()
+    else:
+        _tracer = None
+    return _tracer is not None
+
+
+@contextmanager
+def tracing(tracer: Tracer | None = None) -> Iterator[Tracer]:
+    """Scope a tracer to a ``with`` block; restores the previous one.
+
+    >>> from repro.obs import tracing
+    >>> with tracing() as tracer:
+    ...     with tracer.span("example") as span:
+    ...         span.set("k", 3)
+    >>> [event.name for event in tracer.events()]
+    ['example']
+    """
+    active = tracer if tracer is not None else Tracer()
+    previous = set_tracer(active)
+    try:
+        yield active
+    finally:
+        set_tracer(previous)
+
+
+def maybe_trace_span(name: str, **attrs: Any) -> TraceSpan | NullTraceSpan:
+    """``tracer.span(name, ...)`` when tracing is on, else a no-op span.
+
+    For request-level sections (server queries, update batches) — not
+    for use inside peeling loops, where even the no-op ``with`` block
+    per iteration would be measurable (rule KP007 flags it).
+    """
+    tracer = _tracer
+    if tracer is None:
+        return NULL_TRACE_SPAN
+    return tracer.span(name, **attrs)

@@ -39,6 +39,7 @@ see ``docs/serving.md`` and ``docs/observability.md``.
 from __future__ import annotations
 
 import threading
+import time
 from collections import OrderedDict
 from contextlib import contextmanager
 from dataclasses import dataclass
@@ -50,6 +51,13 @@ from repro.core.index import KPIndex
 from repro.core.pvalue import check_p
 from repro.obs import names as metric
 from repro.obs.instrumentation import get_collector
+from repro.obs.trace import (
+    NULL_TRACE_SPAN,
+    NullTraceSpan,
+    TraceSpan,
+    get_tracer,
+    maybe_trace_span,
+)
 from repro.service.durable import ApplyReport, DurableMaintainer
 from repro.service.stream import UpdateOp
 
@@ -72,6 +80,13 @@ class RWLock:
     busy query stream would starve updates forever).  Not reentrant: a
     thread must not acquire the write lock while holding the read lock
     (or vice versa).
+
+    When tracing is on (``REPRO_TRACE=1``), each acquisition records a
+    ``trace.lock.*.wait`` event (time blocked before entry) and wraps
+    the scope body in a ``trace.lock.*.hold`` span, both attributed to
+    the caller-supplied ``site`` label — the data behind the lock-wait /
+    lock-hold buckets of the attribution table.  With tracing off, the
+    cost is one cached ``None`` check per acquisition.
     """
 
     def __init__(self) -> None:
@@ -80,22 +95,19 @@ class RWLock:
         self._writer_active = False
         self._writers_waiting = 0
 
-    @contextmanager
-    def read_locked(self) -> Iterator[None]:
+    def _acquire_read(self) -> None:
         with self._cond:
             while self._writer_active or self._writers_waiting:
                 self._cond.wait()
             self._readers += 1
-        try:
-            yield
-        finally:
-            with self._cond:
-                self._readers -= 1
-                if self._readers == 0:
-                    self._cond.notify_all()
 
-    @contextmanager
-    def write_locked(self) -> Iterator[None]:
+    def _release_read(self) -> None:
+        with self._cond:
+            self._readers -= 1
+            if self._readers == 0:
+                self._cond.notify_all()
+
+    def _acquire_write(self) -> None:
         with self._cond:
             self._writers_waiting += 1
             try:
@@ -104,12 +116,59 @@ class RWLock:
             finally:
                 self._writers_waiting -= 1
             self._writer_active = True
+
+    def _release_write(self) -> None:
+        with self._cond:
+            self._writer_active = False
+            self._cond.notify_all()
+
+    @contextmanager
+    def read_locked(self, site: str = "") -> Iterator[None]:
+        tracer = get_tracer()
+        if tracer is None:
+            self._acquire_read()
+            try:
+                yield
+            finally:
+                self._release_read()
+            return
+        wait_start = time.perf_counter()
+        self._acquire_read()
+        tracer.record(
+            metric.TRACE_LOCK_READ_WAIT,
+            wait_start,
+            time.perf_counter(),
+            site=site,
+        )
         try:
-            yield
+            with tracer.span(metric.TRACE_LOCK_READ_HOLD, site=site):
+                yield
         finally:
-            with self._cond:
-                self._writer_active = False
-                self._cond.notify_all()
+            self._release_read()
+
+    @contextmanager
+    def write_locked(self, site: str = "") -> Iterator[None]:
+        tracer = get_tracer()
+        if tracer is None:
+            self._acquire_write()
+            try:
+                yield
+            finally:
+                self._release_write()
+            return
+        wait_start = time.perf_counter()
+        self._acquire_write()
+        tracer.record(
+            metric.TRACE_LOCK_WRITE_WAIT,
+            wait_start,
+            time.perf_counter(),
+            site=site,
+        )
+        try:
+            with tracer.span(metric.TRACE_LOCK_WRITE_HOLD, site=site):
+                yield
+        finally:
+            self._release_write()
 
 
 @dataclass(frozen=True)
@@ -168,6 +227,24 @@ class QueryCache:
         self, k: int, p: float, version: int
     ) -> tuple[Vertex, ...] | None:
         """The cached answer for ``(k, p)`` at exactly ``version``."""
+        tracer = get_tracer()
+        if tracer is None:
+            return self._get(k, p, version)
+        start = time.perf_counter()
+        cached = self._get(k, p, version)
+        tracer.record(
+            metric.TRACE_CACHE_PROBE,
+            start,
+            time.perf_counter(),
+            k=k,
+            p=p,
+            hit=cached is not None,
+        )
+        return cached
+
+    def _get(
+        self, k: int, p: float, version: int
+    ) -> tuple[Vertex, ...] | None:
         obs = get_collector()
         with self._mutex:
             entry = self._entries.get((k, p))
@@ -193,6 +270,24 @@ class QueryCache:
     def put(
         self, k: int, p: float, version: int, answer: tuple[Vertex, ...]
     ) -> None:
+        tracer = get_tracer()
+        if tracer is None:
+            self._put(k, p, version, answer)
+            return
+        start = time.perf_counter()
+        self._put(k, p, version, answer)
+        tracer.record(
+            metric.TRACE_CACHE_FILL,
+            start,
+            time.perf_counter(),
+            k=k,
+            p=p,
+            answer_size=len(answer),
+        )
+
+    def _put(
+        self, k: int, p: float, version: int, answer: tuple[Vertex, ...]
+    ) -> None:
         obs = get_collector()
         with self._mutex:
             key = (k, p)
@@ -209,6 +304,21 @@ class QueryCache:
 
     def purge_k(self, k: int) -> int:
         """Drop every entry of ``k``; returns how many were dropped."""
+        tracer = get_tracer()
+        if tracer is None:
+            return self._purge_k(k)
+        start = time.perf_counter()
+        dropped = self._purge_k(k)
+        tracer.record(
+            metric.TRACE_CACHE_PURGE,
+            start,
+            time.perf_counter(),
+            k=k,
+            dropped=dropped,
+        )
+        return dropped
+
+    def _purge_k(self, k: int) -> int:
         obs = get_collector()
         with self._mutex:
             ps = self._by_k.pop(k, None)
@@ -345,8 +455,9 @@ class KPCoreServer:
         than ever touching — or poisoning — the cache.
         """
         self._validate(k, p)
-        with self._lock.read_locked():
-            return self._answer_locked(k, p)
+        with maybe_trace_span(metric.TRACE_SERVER_QUERY, k=k, p=p) as span:
+            with self._lock.read_locked(site="query"):
+                return self._answer_locked(k, p, span)
 
     def query_many(
         self, pairs: Sequence[tuple[int, float]]
@@ -362,10 +473,27 @@ class KPCoreServer:
         obs = get_collector()
         if obs is not None:
             obs.observe(metric.SERVER_BATCH_SIZE, len(pairs))
-        with self._lock.read_locked():
-            return [self._answer_locked(k, p) for k, p in pairs]
+        with maybe_trace_span(
+            metric.TRACE_SERVER_QUERY_MANY, pairs=len(pairs)
+        ):
+            with self._lock.read_locked(site="query_many"):
+                tracer = get_tracer()
+                if tracer is None:
+                    return [self._answer_locked(k, p) for k, p in pairs]
+                answers: list[list[Vertex]] = []
+                for k, p in pairs:
+                    with tracer.span(
+                        metric.TRACE_SERVER_QUERY_ONE, k=k, p=p
+                    ) as span:
+                        answers.append(self._answer_locked(k, p, span))
+                return answers
 
-    def _answer_locked(self, k: int, p: float) -> list[Vertex]:
+    def _answer_locked(
+        self,
+        k: int,
+        p: float,
+        span: TraceSpan | NullTraceSpan = NULL_TRACE_SPAN,
+    ) -> list[Vertex]:
         obs = get_collector()
         if obs is not None:
             obs.inc(metric.SERVER_QUERIES)
@@ -373,14 +501,33 @@ class KPCoreServer:
             self._queries += 1
         cache = self._cache
         if cache is None:
-            return self._durable.query(k, p)
+            answer = self._answer_built(k, p)
+            span.set("cache_hit", False)
+            span.set("answer_size", len(answer))
+            return answer
         version = self.index.version(k)
         cached = cache.get(k, p, version)
+        span.set("version", version)
         if cached is not None:
+            span.set("cache_hit", True)
+            span.set("answer_size", len(cached))
             return list(cached)
-        answer = self._durable.query(k, p)
+        answer = self._answer_built(k, p)
         cache.put(k, p, version, tuple(answer))
+        span.set("cache_hit", False)
+        span.set("answer_size", len(answer))
         return answer
+
+    def _answer_built(self, k: int, p: float) -> list[Vertex]:
+        """Run Algorithm 3 for a miss, under a ``trace.query.answer``
+        span when tracing is on."""
+        tracer = get_tracer()
+        if tracer is None:
+            return self._durable.query(k, p)
+        with tracer.span(metric.TRACE_QUERY_ANSWER, k=k, p=p) as span:
+            answer = self._durable.query(k, p)
+            span.set("answer_size", len(answer))
+            return answer
 
     # ------------------------------------------------------------------
     # the write path
@@ -395,33 +542,36 @@ class KPCoreServer:
         raises under ``ErrorPolicy.FAIL``: whatever prefix was applied
         has mutated the index for good.
         """
-        with self._lock.write_locked():
-            before = self.index.versions()
-            try:
-                # The WAL contract *requires* journal+fsync inside
-                # the exclusive section: it must be ordered with the
-                # mutation it logs.  noqa KP012: blocking by design.
-                return self._durable.apply(updates)  # noqa: KP012 WAL ordering
-            finally:
-                self._purge_changed(before)
+        with maybe_trace_span(metric.TRACE_SERVER_APPLY):
+            with self._lock.write_locked(site="apply"):
+                before = self.index.versions()
+                try:
+                    # The WAL contract *requires* journal+fsync inside
+                    # the exclusive section: it must be ordered with the
+                    # mutation it logs.  noqa KP012: blocking by design.
+                    return self._durable.apply(updates)  # noqa: KP012 WAL ordering
+                finally:
+                    self._purge_changed(before)
 
     def insert_edge(self, u: Vertex, v: Vertex) -> None:
         """Journal, apply, and invalidate for one edge insertion."""
-        with self._lock.write_locked():
-            before = self.index.versions()
-            try:
-                self._durable.insert_edge(u, v)  # noqa: KP012 WAL ordering
-            finally:
-                self._purge_changed(before)
+        with maybe_trace_span(metric.TRACE_SERVER_INSERT):
+            with self._lock.write_locked(site="insert_edge"):
+                before = self.index.versions()
+                try:
+                    self._durable.insert_edge(u, v)  # noqa: KP012 WAL ordering
+                finally:
+                    self._purge_changed(before)
 
     def delete_edge(self, u: Vertex, v: Vertex) -> None:
         """Journal, apply, and invalidate for one edge deletion."""
-        with self._lock.write_locked():
-            before = self.index.versions()
-            try:
-                self._durable.delete_edge(u, v)  # noqa: KP012 WAL ordering
-            finally:
-                self._purge_changed(before)
+        with maybe_trace_span(metric.TRACE_SERVER_DELETE):
+            with self._lock.write_locked(site="delete_edge"):
+                before = self.index.versions()
+                try:
+                    self._durable.delete_edge(u, v)  # noqa: KP012 WAL ordering
+                finally:
+                    self._purge_changed(before)
 
     def checkpoint(self) -> int:
         """Write a durable checkpoint under the write lock.
@@ -429,10 +579,11 @@ class KPCoreServer:
         Checkpoints do not mutate any ``A_k``, so the cache keeps
         serving across them.
         """
-        with self._lock.write_locked():
-            # Checkpoints block writers on purpose; readers drain
-            # first because the RWLock prefers writers.
-            return self._durable.checkpoint()  # noqa: KP012 atomic checkpoint
+        with maybe_trace_span(metric.TRACE_SERVER_CHECKPOINT):
+            with self._lock.write_locked(site="checkpoint"):
+                # Checkpoints block writers on purpose; readers drain
+                # first because the RWLock prefers writers.
+                return self._durable.checkpoint()  # noqa: KP012 atomic checkpoint
 
     def _purge_changed(self, before: dict[int, int]) -> int:
         cache = self._cache
@@ -448,7 +599,7 @@ class KPCoreServer:
     # lifecycle
     # ------------------------------------------------------------------
     def close(self) -> None:
-        with self._lock.write_locked():
+        with self._lock.write_locked(site="close"):
             self._durable.close()  # noqa: KP012 final flush at shutdown
             if self._cache is not None:
                 self._cache.clear()

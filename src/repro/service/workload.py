@@ -25,6 +25,7 @@ the graph has structure before the mix begins.
 
 from __future__ import annotations
 
+import hashlib
 import random
 from dataclasses import dataclass, fields
 from typing import Iterator, Sequence
@@ -110,6 +111,16 @@ class WorkloadSpec:
             rendered = str(value) if f.name in _INT_KEYS else f"{value:g}"
             parts.append(f"{f.name}={rendered}")
         return ",".join(parts)
+
+    def fingerprint(self) -> str:
+        """Short stable digest of the canonical spec string.
+
+        Bench writers stamp results with this so ``repro bench diff``
+        can tell at a glance whether two entries ran the same workload
+        shape (the seed is recorded separately).
+        """
+        digest = hashlib.sha256(self.to_string().encode("utf-8"))
+        return digest.hexdigest()[:12]
 
 
 class _EdgeMirror:

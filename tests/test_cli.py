@@ -281,6 +281,136 @@ class TestProfile:
         assert "error" in capsys.readouterr().err
 
 
+class TestTrace:
+    SPEC = "ops=60,vertices=12,kmax=3,prefill=15"
+
+    def _trace_args(self, tmp_path, *extra):
+        return [
+            "trace", *extra,
+            "index", "serve-bench", str(tmp_path / "state"),
+            "--workload", self.SPEC, "--threads", "1", "--seed", "1",
+        ]
+
+    def test_attribution_table_splits_latency_buckets(self, tmp_path, capsys):
+        trace_json = tmp_path / "trace.json"
+        assert main(
+            self._trace_args(tmp_path, "--json", str(trace_json))
+        ) == 0
+        out = capsys.readouterr().out
+        assert "trace attribution" in out
+        for bucket in ("lock-wait", "cache-probe", "answer-build"):
+            assert bucket in out
+        assert "slowest spans" in out
+
+    def test_chrome_export_is_schema_valid(self, tmp_path, capsys):
+        from repro.obs.trace_export import validate_chrome_trace
+
+        trace_json = tmp_path / "trace.json"
+        assert main(
+            self._trace_args(tmp_path, "--json", str(trace_json))
+        ) == 0
+        capsys.readouterr()
+        payload = json.load(open(trace_json))
+        assert validate_chrome_trace(payload) == []
+        assert payload["traceEvents"], "traced run must emit events"
+        names = {event["name"] for event in payload["traceEvents"]}
+        assert "trace.command" in names
+        # serve-bench issues batched reads, so the request root is query_many
+        assert "trace.server.query_many" in names
+        assert "trace.query.answer" in names
+
+    def test_jsonl_export_round_trips(self, tmp_path, capsys):
+        from repro.obs.trace_export import read_jsonl
+
+        trace_json = tmp_path / "trace.json"
+        trace_jsonl = tmp_path / "trace.jsonl"
+        assert main(
+            self._trace_args(
+                tmp_path, "--json", str(trace_json),
+                "--jsonl", str(trace_jsonl),
+            )
+        ) == 0
+        capsys.readouterr()
+        events = read_jsonl(trace_jsonl)
+        assert events
+        assert all(event.trace_id for event in events)
+
+    def test_trace_restores_the_previous_tracer(self, tmp_path, capsys):
+        from repro.obs.trace import get_tracer
+
+        before = get_tracer()
+        main(self._trace_args(tmp_path, "--json", str(tmp_path / "t.json")))
+        capsys.readouterr()
+        assert get_tracer() is before
+
+    def test_buffer_overflow_is_reported(self, tmp_path, capsys):
+        assert main(
+            self._trace_args(
+                tmp_path, "--json", str(tmp_path / "t.json"), "--buffer", "4"
+            )
+        ) == 0
+        out = capsys.readouterr().out
+        assert "ring buffer dropped" in out
+
+    def test_trace_without_command_errors(self, capsys):
+        assert main(["trace"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_trace_cannot_wrap_itself(self, capsys):
+        assert main(["trace", "trace", "stats", "x"]) == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestBenchDiff:
+    @staticmethod
+    def _write(path, entries):
+        path.write_text(json.dumps({"entries": entries}))
+        return str(path)
+
+    def test_clean_diff_exits_zero(self, tmp_path, capsys):
+        old = self._write(
+            tmp_path / "old.json", [{"engine": "bucket", "min_s": 1.0}]
+        )
+        new = self._write(
+            tmp_path / "new.json", [{"engine": "bucket", "min_s": 1.05}]
+        )
+        assert main(["bench", "diff", old, new]) == 0
+        assert "no regressions" in capsys.readouterr().out
+
+    def test_regression_exits_nonzero(self, tmp_path, capsys):
+        old = self._write(
+            tmp_path / "old.json", [{"engine": "bucket", "min_s": 1.0}]
+        )
+        new = self._write(
+            tmp_path / "new.json", [{"engine": "bucket", "min_s": 2.0}]
+        )
+        assert main(["bench", "diff", old, new]) == 1
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_tolerance_flag_loosens_the_gate(self, tmp_path, capsys):
+        old = self._write(
+            tmp_path / "old.json", [{"engine": "bucket", "min_s": 1.0}]
+        )
+        new = self._write(
+            tmp_path / "new.json", [{"engine": "bucket", "min_s": 2.0}]
+        )
+        assert main(["bench", "diff", old, new, "--tolerance", "2.0"]) == 0
+        assert "no regressions" in capsys.readouterr().out
+
+    def test_missing_file_reports_error(self, tmp_path, capsys):
+        old = self._write(tmp_path / "old.json", [])
+        assert main(
+            ["bench", "diff", old, str(tmp_path / "absent.json")]
+        ) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_committed_serving_baseline_self_diffs_clean(self, capsys):
+        assert main(
+            ["bench", "diff", "BENCH_serve.json", "BENCH_serve.json"]
+        ) == 0
+        assert "no regressions" in capsys.readouterr().out
+
+
 class TestReport:
     def test_table2(self, capsys):
         assert main(["report", "table2"]) == 0

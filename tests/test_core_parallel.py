@@ -103,3 +103,86 @@ class TestWorkersParameter:
         fixed = decomposition.arrays[1]
         for v, pn in zip(fixed.order, fixed.p_numbers):
             assert decomposition.p_number(v, 1) == pn  # noqa: KP002 exact-double oracle
+
+
+class TestCrossProcessObservability:
+    """Worker metrics and trace events must merge back into the parent.
+
+    The decomposition engines record all their own counters, so a
+    parallel run's merged counters equal a single-process run exactly —
+    the only extra names are the ``decomp.parallel.*`` pool bookkeeping.
+    """
+
+    @staticmethod
+    def _run(workers):
+        from repro.obs import collecting, names, set_collector
+        from repro.obs.trace import set_tracer, tracing
+
+        g = erdos_renyi_gnm(45, 180, seed=21)
+        previous_collector = set_collector(None)
+        previous_tracer = set_tracer(None)
+        try:
+            with collecting() as metrics, tracing() as tracer:
+                kp_core_decomposition(g, workers=workers)
+            return metrics.snapshot(), tracer.events()
+        finally:
+            set_collector(previous_collector)
+            set_tracer(previous_tracer)
+
+    @staticmethod
+    def _core_counters(snapshot):
+        return {
+            name: value
+            for name, value in snapshot.counters.items()
+            if not name.startswith("decomp.parallel")
+        }
+
+    def test_merged_counters_equal_single_process_run(self):
+        serial, _ = self._run(workers=1)
+        parallel, _ = self._run(workers=3)
+        assert self._core_counters(parallel) == self._core_counters(serial)
+
+    def test_merged_histograms_equal_single_process_run(self):
+        serial, _ = self._run(workers=1)
+        parallel, _ = self._run(workers=3)
+        assert set(parallel.histograms) >= set(serial.histograms)
+        for name, hist in serial.histograms.items():
+            merged = parallel.histograms[name]
+            assert merged.count == hist.count, name
+            assert merged.total == hist.total, name
+            assert merged.minimum == hist.minimum, name
+            assert merged.maximum == hist.maximum, name
+
+    def test_pool_bookkeeping_counters_present(self):
+        from repro.obs import names
+
+        parallel, _ = self._run(workers=3)
+        tasks = parallel.counter(names.DECOMP_PARALLEL_TASKS)
+        assert tasks >= 1
+        per_worker = parallel.histograms[names.DECOMP_PARALLEL_WORKERS]
+        assert 1 <= per_worker.count <= 3  # one observation per worker pid
+        assert per_worker.total == tasks
+
+    def test_worker_peel_events_absorbed_coherently(self):
+        import os
+
+        from repro.obs import names
+
+        _, events = self._run(workers=3)
+        peels = [e for e in events if e.name == names.TRACE_PEEL_FIXED_K]
+        assert peels, "worker peel spans must be shipped back"
+        # one peel event per k-array, all joined to one trace
+        assert len({e.trace_id for e in peels}) == 1
+        assert any(e.pid != os.getpid() for e in peels)
+        for event in peels:
+            assert event.attrs["engine"] in ("bucket", "heap")
+            assert event.attrs["k"] >= 1
+            assert event.dur >= 0.0
+
+    def test_no_orphan_parents_after_merge(self):
+        _, events = self._run(workers=3)
+        span_ids = {e.span_id for e in events}
+        assert len(span_ids) == len(events)  # ids never collide across pids
+        for event in events:
+            if event.parent_id is not None:
+                assert event.parent_id in span_ids

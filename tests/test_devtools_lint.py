@@ -242,6 +242,52 @@ class TestKP007:
         src = "while queue:\n    alive.add(queue.pop())\n"
         assert codes(src, path=self.HOT_PATH) == []
 
+    def test_unguarded_trace_record_in_loop_triggers(self):
+        src = "for k in ks:\n    tracer.record('trace.peel', a, b)\n"
+        assert codes(src, path=self.HOT_PATH) == ["KP007"]
+
+    def test_tracer_lookup_in_loop_triggers_even_if_guarded(self):
+        src = (
+            "for k in ks:\n"
+            "    tracer = get_tracer()\n"
+            "    if tracer is not None:\n"
+            "        tracer.record('trace.peel', a, b)\n"
+        )
+        assert codes(src, path=self.HOT_PATH) == ["KP007"]
+
+    def test_maybe_trace_span_in_loop_triggers(self):
+        src = (
+            "for k in ks:\n"
+            "    with maybe_trace_span('trace.peel'):\n"
+            "        work()\n"
+        )
+        assert codes(src, path=self.HOT_PATH) == ["KP007"]
+
+    def test_guarded_trace_record_is_clean(self):
+        src = (
+            "tracer = get_tracer()\n"
+            "while heap:\n"
+            "    if tracer is not None:\n"
+            "        tracer.record('trace.peel', a, b)\n"
+        )
+        assert codes(src, path=self.HOT_PATH) == []
+
+    def test_post_loop_trace_record_is_clean(self):
+        """The peel-engine shape: hoisted lookup, one record after the loop."""
+        src = (
+            "tracer = get_tracer()\n"
+            "start = now()\n"
+            "while heap:\n"
+            "    work()\n"
+            "if tracer is not None:\n"
+            "    tracer.record('trace.peel', start, now())\n"
+        )
+        assert codes(src, path=self.HOT_PATH) == []
+
+    def test_non_collector_event_call_is_not_flagged(self):
+        src = "for h in handlers:\n    bus.event('tick')\n"
+        assert codes(src, path=self.HOT_PATH) == []
+
     def test_non_hot_modules_are_not_checked(self):
         src = "while heap:\n    obs.inc('x')\n"
         assert codes(src, path="src/repro/core/maintenance.py") == []

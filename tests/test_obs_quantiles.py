@@ -1,0 +1,101 @@
+"""Unit tests for the shared quantile math and the reservoir sketch."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.obs.quantiles import (
+    DEFAULT_CAPACITY,
+    LATENCY_METHOD,
+    ReservoirSketch,
+    quantile,
+)
+
+
+class TestQuantileFunction:
+    def test_median_interpolates_between_order_statistics(self):
+        assert quantile([1.0, 2.0, 3.0, 4.0], 0.5) == 2.5
+
+    def test_endpoints_are_exact(self):
+        values = [3.0, 7.0, 9.0]
+        assert quantile(values, 0.0) == 3.0
+        assert quantile(values, 1.0) == 9.0
+
+    def test_empty_and_singleton(self):
+        assert quantile([], 0.5) == 0.0
+        assert quantile([42.0], 0.99) == 42.0
+
+    def test_out_of_range_q_rejected(self):
+        with pytest.raises(ParameterError, match="quantile"):
+            quantile([1.0], 1.5)
+        with pytest.raises(ParameterError, match="quantile"):
+            quantile([1.0], -0.1)
+
+    def test_p99_is_not_max_on_a_serving_sized_sample(self):
+        """The old ``values[int(q*len)]`` truncation pinned p99 to the last
+        order statistic on the ~488-sample serve-bench runs."""
+        values = [float(v) for v in range(488)]
+        p99 = quantile(values, 0.99)
+        assert p99 < values[-1]
+        assert abs(p99 - 0.99 * 487) < 1e-9
+
+    def test_matches_linear_definition(self):
+        # numpy.percentile(values, 25, method="linear") == 1.75
+        assert quantile([1.0, 2.0, 3.0, 4.0], 0.25) == 1.75
+
+
+class TestReservoirSketch:
+    def test_exact_below_capacity(self):
+        sketch = ReservoirSketch(capacity=10)
+        sketch.extend([5.0, 1.0, 3.0, 2.0, 4.0])
+        assert sketch.exact
+        assert sketch.count == 5
+        assert sketch.total == 15.0
+        assert sketch.mean == 3.0
+        assert sketch.quantile(0.5) == 3.0
+
+    def test_extremes_stay_exact_beyond_capacity(self):
+        sketch = ReservoirSketch(capacity=8, seed=1)
+        sketch.extend(float(v) for v in range(1000))
+        assert not sketch.exact
+        assert len(sketch) == 8
+        assert sketch.count == 1000
+        assert sketch.minimum == 0.0
+        assert sketch.maximum == 999.0
+        assert sketch.quantile(0.0) == 0.0
+        assert sketch.quantile(1.0) == 999.0
+
+    def test_deterministic_for_fixed_seed(self):
+        def build():
+            sketch = ReservoirSketch(capacity=16, seed=7)
+            sketch.extend(float(v % 97) for v in range(500))
+            return sketch
+
+        assert build().summary() == build().summary()
+
+    def test_summary_schema(self):
+        sketch = ReservoirSketch()
+        sketch.extend([1.0, 2.0, 3.0])
+        summary = sketch.summary()
+        assert summary["method"] == LATENCY_METHOD
+        assert summary["count"] == 3
+        assert summary["min"] == 1.0
+        assert summary["max"] == 3.0
+        assert summary["p50"] == 2.0
+
+    def test_empty_summary_is_all_zero(self):
+        summary = ReservoirSketch().summary()
+        assert summary["count"] == 0
+        assert summary["p99"] == 0.0
+        assert summary["max"] == 0.0
+        assert summary["min"] == 0.0
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ParameterError, match="capacity"):
+            ReservoirSketch(capacity=0)
+        with pytest.raises(ParameterError, match="quantile"):
+            ReservoirSketch().quantile(2.0)
+
+    def test_default_capacity_covers_committed_workloads(self):
+        assert DEFAULT_CAPACITY >= 4096
