@@ -19,10 +19,11 @@ import argparse
 import json
 import os
 import platform
+import time
+from statistics import median
 from typing import Sequence
 
 from repro.bench.provenance import run_provenance
-from repro.bench.timing import measure
 from repro.core.decomposition import kp_core_decomposition
 from repro.core.peel_engines import DEFAULT_ENGINE, available_engines
 from repro.datasets import load
@@ -35,36 +36,37 @@ def record_baseline(
     repeat: int = 3,
     worker_counts: Sequence[int] = (1, 4),
 ) -> dict[str, object]:
-    """Time every engine (serial) and worker count (default engine)."""
+    """Time every engine (serial) and worker count (default engine).
+
+    Repeats are **interleaved across configurations** — round-robin, one
+    timed run of every configuration per round — rather than run
+    back-to-back per configuration.  The baseline's primary consumers
+    compare rows against each other (is flat 3x bucket? does workers=4
+    beat workers=1?), and on a noisy host consecutive repeats let one
+    slow scheduling window land entirely on one row and skew every
+    ratio; interleaving spreads the noise over all rows evenly.
+    """
     graph = load(dataset)
-    entries: list[dict[str, object]] = []
-    for engine in available_engines():
-        timing = measure(
-            lambda: kp_core_decomposition(graph, engine=engine), repeat
-        )
-        entries.append(
-            {
-                "engine": engine,
-                "workers": 1,
-                "min_s": round(timing.seconds, 4),
-                "median_s": round(timing.median_seconds, 4),
-            }
-        )
-    for workers in worker_counts:
-        if workers == 1:
-            continue  # covered by the engine sweep above
-        timing = measure(
-            lambda: kp_core_decomposition(graph, workers=workers), repeat
-        )
-        entries.append(
-            {
-                "engine": DEFAULT_ENGINE,
-                "workers": workers,
-                "min_s": round(timing.seconds, 4),
-                "median_s": round(timing.median_seconds, 4),
-            }
-        )
-    return {
+    configs: list[tuple[str, int]] = [
+        (engine, 1) for engine in available_engines()
+    ] + [(DEFAULT_ENGINE, w) for w in worker_counts if w != 1]
+    times: dict[tuple[str, int], list[float]] = {c: [] for c in configs}
+    for _ in range(repeat):
+        for engine, workers in configs:
+            start = time.perf_counter()
+            kp_core_decomposition(graph, engine=engine, workers=workers)
+            times[(engine, workers)].append(time.perf_counter() - start)
+    entries: list[dict[str, object]] = [
+        {
+            "engine": engine,
+            "workers": workers,
+            "min_s": round(min(samples), 4),
+            "median_s": round(median(samples), 4),
+        }
+        for (engine, workers), samples in times.items()
+    ]
+    cpus = os.cpu_count() or 1
+    payload: dict[str, object] = {
         "dataset": dataset,
         "n": graph.num_vertices,
         "m": graph.num_edges,
@@ -72,10 +74,17 @@ def record_baseline(
         "python": platform.python_version(),
         # Worker scaling only pays off when this is > 1; on a single-CPU
         # machine the workers>1 rows measure pure pool overhead.
-        "cpus": os.cpu_count() or 1,
+        "cpus": cpus,
         "provenance": run_provenance(),
         "entries": entries,
     }
+    if cpus == 1 and any(w > 1 for w in worker_counts):
+        payload["worker_scaling_caveat"] = (
+            "recorded on a 1-CPU host: workers>1 rows measure pool "
+            "overhead, not scaling — compare them only against baselines "
+            "from multi-CPU hosts"
+        )
+    return payload
 
 
 def main(argv: Sequence[str] | None = None) -> int:

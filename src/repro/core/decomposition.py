@@ -11,10 +11,17 @@ vertex's p-number.
 Implementation notes
 --------------------
 * The per-``k`` peel is delegated to a selectable engine
-  (:mod:`repro.core.peel_engines`): the default ``"bucket"`` engine keeps
-  vertices in an array of exact fraction-level buckets for the paper's
-  O(m_k)-per-``k`` bound, while ``"heap"`` is the original lazy min-heap
-  backend kept for cross-checking.  Both emit identical canonical output.
+  (:mod:`repro.core.peel_engines`): the default ``"flat"`` engine drains
+  bin-sorted integer-rank chains over a global composite-key ladder
+  (:mod:`repro.core.peel_flat`), ``"flat-numpy"`` vectorizes its setup
+  when numpy is importable, ``"bucket"`` keeps vertices in an array of
+  exact fraction-level buckets, and ``"heap"`` is the original lazy
+  min-heap backend kept for cross-checking.  All emit identical
+  canonical output; see ``docs/performance.md`` for the selection guide.
+* Serial full decompositions build one engine scratch
+  (:func:`repro.core.peel_engines.make_scratch`) and thread it through
+  every ``k``, so ladders/buckets are allocated once per decomposition
+  rather than once per ``k``.
 * The per-``k`` peels after core-number computation are independent, so
   ``workers=N`` fans them out over a :mod:`multiprocessing` pool
   (:mod:`repro.core.parallel`), shipping the frozen snapshot once per
@@ -34,7 +41,7 @@ from repro.errors import ParameterError
 from repro.graph.adjacency import Graph, Vertex
 from repro.graph.compact import CompactAdjacency
 from repro.kcore.decomposition import core_numbers_compact
-from repro.core.peel_engines import DEFAULT_ENGINE, get_engine
+from repro.core.peel_engines import DEFAULT_ENGINE, get_engine, make_scratch
 from repro.obs import names
 from repro.obs.instrumentation import maybe_span
 
@@ -135,8 +142,10 @@ def kp_core_decomposition(
                     snapshot, core, degeneracy, engine=engine, workers=workers
                 )
             else:
+                scratch = make_scratch(engine, snapshot, core)
                 peeled = {
-                    k: peel(snapshot, core, k) for k in range(1, degeneracy + 1)
+                    k: peel(snapshot, core, k, scratch=scratch)
+                    for k in range(1, degeneracy + 1)
                 }
             for k in range(1, degeneracy + 1):
                 order, p_numbers = peeled[k]

@@ -9,23 +9,33 @@ and writes only its own ``(order, p_numbers)`` pair.  This module fans the
 * the snapshot and core numbers are shipped **once per worker** through
   the pool initializer (the snapshot's typed-array CSR pickles compactly,
   see :meth:`CompactAdjacency.__reduce__`), not once per task;
-* tasks are scheduled greedily, largest ``|V_k|`` first — array size is
-  monotone non-increasing in ``k``, so this hands out the low, expensive
-  ``k`` values before the long tail of tiny ones and keeps the pool's
-  makespan near the optimum;
+* scheduling is work-stealing over **cost-balanced chunks**: the ``k``
+  values — ordered largest ``|V_k|`` first, which for the non-increasing
+  core-size profile is ascending ``k`` — are packed into chunks of
+  roughly equal total cost (:func:`_chunk_ks`), and idle workers pull the
+  next chunk from the pool's shared queue.  The expensive low-``k``
+  arrays go out first as singleton chunks, while the long tail of tiny
+  arrays travels in batches, so neither stragglers (static
+  pre-assignment) nor per-task dispatch overhead (``chunksize=1`` over
+  hundreds of sub-millisecond peels) dominate the makespan;
+* each worker builds its engine scratch
+  (:func:`repro.core.peel_engines.make_scratch`) lazily on its first
+  chunk and reuses it for every subsequent one — chunks reach a worker
+  in ascending-``k`` order, so the scratch's incremental prefix-length
+  sweep applies just as it does serially;
 * results are merged keyed by ``k``, so the output is deterministic and
   identical to the serial run regardless of worker count or completion
   order.
 
 Observability crosses the process boundary explicitly: when the parent
-has a collector (``REPRO_OBS``) each task runs under a fresh per-task
+has a collector (``REPRO_OBS``) each chunk runs under a fresh
 :class:`~repro.obs.instrumentation.Instrumentation`, ships its snapshot
 back with the result, and the parent folds it in with
 :meth:`~repro.obs.instrumentation.Instrumentation.merge` — so counters of
 a parallel run equal the serial run's exactly (plus the scheduling
 counters only parallel runs have).  When the parent is tracing
 (``REPRO_TRACE``) the pool initializer carries the parent's
-``(trace_id, span_id)`` context, each task records its spans under a
+``(trace_id, span_id)`` context, each chunk records its spans under a
 worker-local :class:`~repro.obs.trace.Tracer` parented to that context,
 and the events ride home with the result to be
 :meth:`~repro.obs.trace.Tracer.absorb`-ed into the parent buffer — one
@@ -46,6 +56,10 @@ from repro.obs.trace import Tracer, get_tracer, set_tracer
 
 __all__ = ["default_workers", "k_core_sizes", "peel_all_k"]
 
+#: Chunk-count multiplier: aim for ~this many chunks per worker so the
+#: shared queue still has slack to rebalance when one chunk runs long.
+_CHUNKS_PER_WORKER = 4
+
 #: Worker-process state, installed once by :func:`_init_worker`.  Module
 #: globals (not closure state) so the initializer round-trips under every
 #: multiprocessing start method, including ``spawn``.
@@ -53,9 +67,13 @@ _snapshot: CompactAdjacency | None = None
 _core: list[int] | None = None
 _engine_name: str = ""
 _obs_on: bool = False
-#: One tracer per worker *process*, drained after every task — its span-id
-#: counter keeps advancing across tasks, so ids stay unique per pid even
-#: though each task ships its events separately.
+#: Engine scratch, built lazily on the worker's first chunk and shared by
+#: all of its chunks (the whole point of a per-worker cache).
+_scratch: Any | None = None
+_scratch_ready = False
+#: One tracer per worker *process*, drained after every chunk — its
+#: span-id counter keeps advancing across chunks, so ids stay unique per
+#: pid even though each chunk ships its events separately.
 _worker_tracer: Tracer | None = None
 
 
@@ -77,6 +95,37 @@ def k_core_sizes(core: Sequence[int], degeneracy: int) -> list[int]:
     return sizes
 
 
+def _chunk_ks(
+    ks: Sequence[int], sizes: Sequence[int], pool_size: int
+) -> list[list[int]]:
+    """Pack ``ks`` (largest ``|V_k|`` first) into cost-balanced chunks.
+
+    Peel cost is O(m_k), for which ``|V_k|`` is the available proxy.  The
+    target chunk cost is ``total / (pool_size * _CHUNKS_PER_WORKER)``; a
+    ``k`` whose own cost exceeds it becomes a singleton chunk (the big
+    arrays must not queue behind each other), while consecutive small
+    ``k`` values accumulate until the target is reached.  Order within
+    and across chunks follows ``ks``, so workers pulling chunks from the
+    shared queue each see an ascending-``k`` subsequence.
+    """
+    total = sum(sizes[k] for k in ks)
+    target = max(1, -(-total // (max(1, pool_size) * _CHUNKS_PER_WORKER)))
+    chunks: list[list[int]] = []
+    current: list[int] = []
+    current_cost = 0
+    for k in ks:
+        cost = max(1, sizes[k])
+        if current and current_cost + cost > target:
+            chunks.append(current)
+            current = []
+            current_cost = 0
+        current.append(k)
+        current_cost += cost
+    if current:
+        chunks.append(current)
+    return chunks
+
+
 def _init_worker(
     snapshot: CompactAdjacency,
     core: list[int],
@@ -85,34 +134,49 @@ def _init_worker(
     trace_ctx: tuple[str, str | None] | None,
 ) -> None:
     """Pool initializer: pin the shared read-only inputs in this process."""
-    global _snapshot, _core, _engine_name, _obs_on, _worker_tracer
+    global _snapshot, _core, _engine_name, _obs_on, _scratch, _scratch_ready
+    global _worker_tracer
     _snapshot = snapshot
     _core = core
     _engine_name = engine
     _obs_on = obs_on
+    _scratch = None
+    _scratch_ready = False
     _worker_tracer = Tracer(context=trace_ctx) if trace_ctx is not None else None
 
 
-def _peel_task(
-    k: int,
+def _worker_scratch() -> Any:
+    """This worker's engine scratch, built on first use."""
+    global _scratch, _scratch_ready
+    if not _scratch_ready:
+        from repro.core.peel_engines import make_scratch
+
+        assert _snapshot is not None and _core is not None
+        _scratch = make_scratch(_engine_name, _snapshot, _core)
+        _scratch_ready = True
+    return _scratch
+
+
+def _peel_chunk(
+    chunk: Sequence[int],
 ) -> tuple[
-    int,
-    list[int],
-    list[float],
+    list[tuple[int, list[int], list[float]]],
     int,
     dict[str, Any] | None,
     list[dict[str, Any]] | None,
 ]:
-    """One fixed-``k`` peel in a worker.
+    """One chunk of fixed-``k`` peels in a worker.
 
-    Returns ``(k, order, pns, pid, metrics_payload, events_payload)``;
-    the payloads are ``None`` unless the parent asked for them through
-    the initializer flags.
+    Returns ``(peeled, pid, metrics_payload, events_payload)`` where
+    ``peeled`` is one ``(k, order, p_numbers)`` triple per ``k`` in the
+    chunk; the payloads are ``None`` unless the parent asked for them
+    through the initializer flags.
     """
     from repro.core.peel_engines import get_engine
 
     assert _snapshot is not None and _core is not None
     engine = get_engine(_engine_name)
+    scratch = _worker_scratch()
     task_obs = Instrumentation() if _obs_on else None
     task_tracer = _worker_tracer
     previous_obs = set_collector(task_obs) if task_obs is not None else None
@@ -120,7 +184,9 @@ def _peel_task(
         set_tracer(task_tracer) if task_tracer is not None else None
     )
     try:
-        order, p_numbers = engine(_snapshot, _core, k)
+        peeled = [
+            (k, *engine(_snapshot, _core, k, scratch=scratch)) for k in chunk
+        ]
     finally:
         if task_obs is not None:
             set_collector(previous_obs)
@@ -134,7 +200,7 @@ def _peel_task(
         task_tracer.clear()
     else:
         events_payload = None
-    return k, order, p_numbers, os.getpid(), metrics_payload, events_payload
+    return peeled, os.getpid(), metrics_payload, events_payload
 
 
 def peel_all_k(
@@ -158,6 +224,7 @@ def peel_all_k(
     sizes = k_core_sizes(core, degeneracy)
     ks = sorted(range(1, degeneracy + 1), key=lambda k: (-sizes[k], k))
     pool_size = min(workers, len(ks))
+    chunks = _chunk_ks(ks, sizes, pool_size)
     results: dict[int, tuple[list[int], list[float]]] = {}
     tasks_per_pid: dict[int, int] = {}
     with Pool(
@@ -165,13 +232,14 @@ def peel_all_k(
         initializer=_init_worker,
         initargs=(snapshot, list(core), engine, obs is not None, trace_ctx),
     ) as pool:
-        for k, order, p_numbers, pid, metrics_payload, events_payload in (
-            pool.imap_unordered(_peel_task, ks, chunksize=1)
+        for peeled, pid, metrics_payload, events_payload in (
+            pool.imap_unordered(_peel_chunk, chunks, chunksize=1)
         ):
-            results[k] = (order, p_numbers)
-            tasks_per_pid[pid] = tasks_per_pid.get(pid, 0) + 1
+            for k, order, p_numbers in peeled:
+                results[k] = (order, p_numbers)
+            tasks_per_pid[pid] = tasks_per_pid.get(pid, 0) + len(peeled)
             if obs is not None and metrics_payload is not None:
-                # Fold the worker's per-task counters in verbatim: the
+                # Fold the worker's per-chunk counters in verbatim: the
                 # engines record the same metrics they do serially, so
                 # parallel profiles match serial ones exactly.
                 obs.merge(MetricsSnapshot.from_dict(metrics_payload))
@@ -179,6 +247,7 @@ def peel_all_k(
                 tracer.absorb(events_payload)
     if obs is not None:
         obs.add(names.DECOMP_PARALLEL_TASKS, len(ks))
+        obs.add(names.DECOMP_PARALLEL_CHUNKS, len(chunks))
         for count in tasks_per_pid.values():
             obs.observe(names.DECOMP_PARALLEL_WORKERS, count)
     return results

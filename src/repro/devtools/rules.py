@@ -49,6 +49,7 @@ _HOT_LOOP_SUFFIXES = (
     "core/kpcore.py",
     "core/decomposition.py",
     "core/peel_engines.py",
+    "core/peel_flat.py",
 )
 
 _DEGREE_NAME = re.compile(r"(?:^|_)deg(?:ree)?s?(?:$|_)|^denominator$|^d[uv]$")

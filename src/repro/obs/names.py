@@ -51,7 +51,11 @@ DECOMP_DEGREE_VIOLATIONS = "decomp.degree_violation_rekeys"
 DECOMP_BUCKET_SCANS = "decomp.bucket_scans"
 DECOMP_BUCKET_MOVES = "decomp.bucket_moves"
 DECOMP_BUCKET_LEVELS = "decomp.bucket_levels"
+DECOMP_FLAT_MOVES = "decomp.flat.moves"
+DECOMP_FLAT_RANK_SKIPS = "decomp.flat.rank_skips"
+DECOMP_FLAT_LEVELS = "decomp.flat.levels"
 DECOMP_PARALLEL_TASKS = "decomp.parallel.tasks"
+DECOMP_PARALLEL_CHUNKS = "decomp.parallel.chunks"
 DECOMP_PARALLEL_WORKERS = "decomp.parallel.tasks_per_worker"
 DECOMP_ARRAY_SIZE = "decomp.array_size"
 DECOMP_SPAN = "kp_decomposition"
@@ -162,7 +166,12 @@ COUNTERS: dict[str, str] = {
     DECOMP_DEGREE_VIOLATIONS: "re-keys with the degree-violation sentinel",
     DECOMP_BUCKET_SCANS: "empty level buckets skipped by the bucket engine",
     DECOMP_BUCKET_MOVES: "vertex moves to a higher level bucket",
+    DECOMP_FLAT_MOVES: "vertex re-parks into a lower rank chain "
+    "(flat engines; batched to one park per vertex per round)",
+    DECOMP_FLAT_RANK_SKIPS: "rank-cursor steps over empty/stale chains "
+    "(flat engines)",
     DECOMP_PARALLEL_TASKS: "fixed-k peel tasks dispatched to the pool",
+    DECOMP_PARALLEL_CHUNKS: "task chunks pulled from the shared pool queue",
     MAINT_THM2_SKIPS: "A_k skipped: k above both new core numbers (insert)",
     MAINT_THM3_WINDOWS: "p_- lower bounds from Theorem 3 (insert, both in k-core)",
     MAINT_THM4_WINDOWS: "p_+ upper bounds from Theorem 4 (insert, both in k-core)",
@@ -198,6 +207,7 @@ COUNTERS: dict[str, str] = {
 HISTOGRAMS: dict[str, str] = {
     DECOMP_ARRAY_SIZE: "per-k array size |V_k| built by Algorithm 2",
     DECOMP_BUCKET_LEVELS: "candidate fraction levels per fixed-k bucket peel",
+    DECOMP_FLAT_LEVELS: "distinct fraction levels in the global flat ladder",
     DECOMP_PARALLEL_WORKERS: "peel tasks completed per pool worker",
     MAINT_WINDOW_WIDTH: "recomputed p-number window widths p_+ - p_-",
     MAINT_WINDOW_P_MINUS: "window lower ends p_- (Defs. 5-7 bounds)",

@@ -11,8 +11,13 @@ from repro.graph.compact import CompactAdjacency
 from repro.graph.generators import erdos_renyi_gnm
 from repro.kcore.decomposition import core_numbers_compact
 from repro.core.decomposition import kp_core_decomposition
-from repro.core.parallel import default_workers, k_core_sizes, peel_all_k
-from repro.core.peel_engines import DEFAULT_ENGINE, get_engine
+from repro.core.parallel import (
+    _chunk_ks,
+    default_workers,
+    k_core_sizes,
+    peel_all_k,
+)
+from repro.core.peel_engines import DEFAULT_ENGINE, available_engines, get_engine
 
 
 def _assert_same_decomposition(a, b):
@@ -60,6 +65,35 @@ class TestScheduling:
     def test_default_workers_is_positive(self):
         assert default_workers() >= 1
 
+    def test_chunks_cover_every_k_once_in_order(self):
+        sizes = [100, 90, 60, 30, 10, 4, 2, 1, 1]
+        ks = list(range(1, 9))
+        chunks = _chunk_ks(ks, sizes, pool_size=2)
+        flattened = [k for chunk in chunks for k in chunk]
+        assert flattened == ks  # partition, original (ascending-k) order
+        assert all(chunk for chunk in chunks)
+
+    def test_expensive_ks_get_singleton_chunks(self):
+        # k=1 alone dwarfs the target chunk cost, so it must not share a
+        # chunk with (and thereby delay) anything else.
+        sizes = [0, 1000, 10, 8, 6, 4, 2, 1, 1]
+        ks = list(range(1, 9))
+        chunks = _chunk_ks(ks, sizes, pool_size=4)
+        assert chunks[0] == [1]
+
+    def test_tiny_tail_is_batched(self):
+        # A long tail of unit-cost ks should travel in batches, not as
+        # one dispatch per k.
+        sizes = [0] + [1] * 64
+        ks = list(range(1, 65))
+        chunks = _chunk_ks(ks, sizes, pool_size=2)
+        assert 1 < len(chunks) < len(ks)
+
+    def test_chunking_handles_degenerate_inputs(self):
+        assert _chunk_ks([], [0], pool_size=4) == []
+        assert _chunk_ks([1], [0, 5], pool_size=4) == [[1]]
+        assert _chunk_ks([1, 2], [0, 0, 0], pool_size=1) == [[1], [2]]
+
 
 class TestPeelAllK:
     def test_matches_serial_engine(self):
@@ -77,7 +111,7 @@ class TestPeelAllK:
 
 
 class TestWorkersParameter:
-    @pytest.mark.parametrize("engine", ["bucket", "heap"])
+    @pytest.mark.parametrize("engine", available_engines())
     def test_workers_4_identical_to_workers_1(self, engine):
         g = erdos_renyi_gnm(70, 320, seed=13)
         serial = kp_core_decomposition(g, engine=engine, workers=1)
@@ -162,6 +196,8 @@ class TestCrossProcessObservability:
         per_worker = parallel.histograms[names.DECOMP_PARALLEL_WORKERS]
         assert 1 <= per_worker.count <= 3  # one observation per worker pid
         assert per_worker.total == tasks
+        chunks = parallel.counter(names.DECOMP_PARALLEL_CHUNKS)
+        assert 1 <= chunks <= tasks  # chunks batch tasks, never split them
 
     def test_worker_peel_events_absorbed_coherently(self):
         import os
@@ -175,7 +211,7 @@ class TestCrossProcessObservability:
         assert len({e.trace_id for e in peels}) == 1
         assert any(e.pid != os.getpid() for e in peels)
         for event in peels:
-            assert event.attrs["engine"] in ("bucket", "heap")
+            assert event.attrs["engine"] in available_engines()
             assert event.attrs["k"] >= 1
             assert event.dur >= 0.0
 

@@ -9,6 +9,8 @@ diverge first.
 
 from __future__ import annotations
 
+from fractions import Fraction
+
 import pytest
 from hypothesis import given, settings, strategies as st
 
@@ -18,14 +20,26 @@ from repro.graph.compact import CompactAdjacency
 from repro.graph.generators import erdos_renyi_gnm
 from repro.kcore.decomposition import core_numbers_compact
 from repro.core.decomposition import kp_core_decomposition
+from repro.core import peel_flat
 from repro.core.peel_engines import (
     DEFAULT_ENGINE,
     ENGINES,
+    BucketScratch,
     available_engines,
     get_engine,
+    make_scratch,
     peel_fixed_k_bucket,
     peel_fixed_k_heap,
 )
+from repro.core.peel_flat import (
+    FlatScratch,
+    composite_key,
+    key_scale,
+    peel_fixed_k_flat,
+    peel_fixed_k_flat_numpy,
+)
+
+ALL_ENGINES = ["bucket", "flat", "flat-numpy", "heap"]
 
 
 def _prepared(graph: Graph):
@@ -37,8 +51,10 @@ def _prepared(graph: Graph):
 
 
 def _assert_engines_identical(graph: Graph) -> None:
+    """All engines (scratch-free and scratch-shared) agree pairwise."""
     snapshot, core = _prepared(graph)
     degeneracy = max(core, default=0)
+    scratches = {name: make_scratch(name, snapshot, core) for name in ENGINES}
     for k in range(1, degeneracy + 1):
         results = {
             name: engine(snapshot, core, k) for name, engine in ENGINES.items()
@@ -46,16 +62,22 @@ def _assert_engines_identical(graph: Graph) -> None:
         reference = results.pop("heap")
         for name, result in results.items():
             assert result == reference, (name, k)
+        for name, engine in ENGINES.items():
+            shared = engine(snapshot, core, k, scratch=scratches[name])
+            assert shared == reference, (name, k, "scratch")
 
 
 class TestRegistry:
     def test_known_engines(self):
-        assert available_engines() == ["bucket", "heap"]
+        assert available_engines() == ALL_ENGINES
+        assert DEFAULT_ENGINE == "flat"
         assert DEFAULT_ENGINE in ENGINES
 
     def test_get_engine_resolves(self):
         assert get_engine("bucket") is peel_fixed_k_bucket
         assert get_engine("heap") is peel_fixed_k_heap
+        assert get_engine("flat") is peel_fixed_k_flat
+        assert get_engine("flat-numpy") is peel_fixed_k_flat_numpy
 
     def test_get_engine_rejects_unknown(self):
         with pytest.raises(ParameterError, match="unknown peel engine"):
@@ -63,19 +85,25 @@ class TestRegistry:
 
 
 class TestEngineBasics:
-    @pytest.mark.parametrize("name", ["bucket", "heap"])
+    @pytest.mark.parametrize("name", ALL_ENGINES)
     def test_empty_k_core(self, triangle, name):
         snapshot, core = _prepared(triangle)
         assert get_engine(name)(snapshot, core, 3) == ([], [])
 
-    @pytest.mark.parametrize("name", ["bucket", "heap"])
+    @pytest.mark.parametrize("name", ALL_ENGINES)
     def test_triangle_all_peel_at_one(self, triangle, name):
         snapshot, core = _prepared(triangle)
         order, p_numbers = get_engine(name)(snapshot, core, 2)
         assert sorted(order) == [0, 1, 2]
         assert p_numbers == [1.0, 1.0, 1.0]  # noqa: KP002 exact-double oracle
 
-    @pytest.mark.parametrize("name", ["bucket", "heap"])
+    @pytest.mark.parametrize("name", ALL_ENGINES)
+    def test_k_below_one_rejected(self, triangle, name):
+        snapshot, core = _prepared(triangle)
+        with pytest.raises(ParameterError, match="k must be >= 1"):
+            get_engine(name)(snapshot, core, 0)
+
+    @pytest.mark.parametrize("name", ALL_ENGINES)
     def test_canonical_order_within_rounds(self, name):
         # K4 peels in a single round at level 1.0: canonical order is by
         # internal id regardless of engine-internal tie-breaking.
@@ -129,6 +157,26 @@ class TestEngineEquivalence:
     def test_denser_random_graphs(self, seed):
         _assert_engines_identical(erdos_renyi_gnm(40, 300, seed=seed))
 
+    def test_single_vertex_graph(self):
+        g = Graph()
+        g.add_vertex("lonely")
+        # Degeneracy 0: no k to peel, but every engine must agree that the
+        # 1-core is empty.
+        snapshot, core = _prepared(g)
+        for name in ALL_ENGINES:
+            assert get_engine(name)(snapshot, core, 1) == ([], [])
+
+    def test_star_max_degree_graph(self):
+        # A hub of maximum degree stresses the composite-key scale: the
+        # ladder of the hub holds d_max distinct fractions a/d_max.
+        hub_edges = [("hub", i) for i in range(25)]
+        _assert_engines_identical(Graph(hub_edges))
+
+    def test_max_degree_clique_with_pendants(self):
+        edges = [(u, w) for u in range(8) for w in range(u + 1, 8)]
+        edges += [(0, f"p{i}") for i in range(12)]
+        _assert_engines_identical(Graph(edges))
+
     @given(
         st.lists(
             st.tuples(st.integers(0, 11), st.integers(0, 11)).filter(
@@ -140,6 +188,122 @@ class TestEngineEquivalence:
     @settings(max_examples=100, deadline=None)
     def test_property_engines_agree(self, edges):
         _assert_engines_identical(Graph(edges))
+
+
+class TestCompositeKeys:
+    """The flat engines' integer keys must order exactly like rationals."""
+
+    def test_key_ordering_equals_fraction_ordering_exhaustive(self):
+        for d_max in (1, 2, 3, 7, 16, 31):
+            scale = key_scale(d_max)
+            pairs = [
+                (a, b) for b in range(1, d_max + 1) for a in range(0, b + 1)
+            ]
+            for a1, b1 in pairs:
+                for a2, b2 in pairs:
+                    k1 = composite_key(a1, b1, scale)
+                    k2 = composite_key(a2, b2, scale)
+                    f1, f2 = Fraction(a1, b1), Fraction(a2, b2)
+                    assert (k1 < k2) == (f1 < f2), (a1, b1, a2, b2, d_max)
+                    assert (k1 == k2) == (f1 == f2), (a1, b1, a2, b2, d_max)
+
+    @given(
+        st.integers(1, 10_000),
+        st.tuples(st.integers(0, 10_000), st.integers(0, 10_000)),
+        st.tuples(st.integers(1, 10_000), st.integers(1, 10_000)),
+    )
+    @settings(max_examples=300, deadline=None)
+    def test_key_ordering_property(self, d_max, numerators, denominators):
+        b1 = 1 + (denominators[0] - 1) % d_max
+        b2 = 1 + (denominators[1] - 1) % d_max
+        a1 = numerators[0] % (b1 + 1)
+        a2 = numerators[1] % (b2 + 1)
+        scale = key_scale(d_max)
+        k1 = composite_key(a1, b1, scale)
+        k2 = composite_key(a2, b2, scale)
+        f1, f2 = Fraction(a1, b1), Fraction(a2, b2)
+        assert (k1 < k2) == (f1 < f2)
+        assert (k1 == k2) == (f1 == f2)
+
+    def test_zero_denominator_rejected(self):
+        with pytest.raises(ParameterError, match="denominator"):
+            composite_key(1, 0, key_scale(4))
+
+
+class TestEngineScratch:
+    """make_scratch semantics: reuse, validation, out-of-order k."""
+
+    def test_make_scratch_types(self, figure1_like_graph):
+        snapshot, core = _prepared(figure1_like_graph)
+        assert isinstance(make_scratch("bucket", snapshot, core), BucketScratch)
+        assert isinstance(make_scratch("flat", snapshot, core), FlatScratch)
+        assert isinstance(
+            make_scratch("flat-numpy", snapshot, core), FlatScratch
+        )
+        assert make_scratch("heap", snapshot, core) is None
+
+    def test_make_scratch_rejects_unknown_engine(self, triangle):
+        snapshot, core = _prepared(triangle)
+        with pytest.raises(ParameterError, match="unknown peel engine"):
+            make_scratch("quantum", snapshot, core)
+
+    @pytest.mark.parametrize("name", ["bucket", "flat", "flat-numpy"])
+    def test_wrong_snapshot_rejected(self, name):
+        snapshot_a, core_a = _prepared(erdos_renyi_gnm(20, 60, seed=1))
+        snapshot_b, _ = _prepared(erdos_renyi_gnm(20, 60, seed=2))
+        scratch = make_scratch(name, snapshot_a, core_a)
+        with pytest.raises(ParameterError, match="different snapshot"):
+            get_engine(name)(snapshot_b, core_a, 1, scratch=scratch)
+
+    @pytest.mark.parametrize("name", ["bucket", "flat", "flat-numpy"])
+    def test_wrong_scratch_type_rejected(self, triangle, name):
+        snapshot, core = _prepared(triangle)
+        with pytest.raises(ParameterError, match="Scratch"):
+            get_engine(name)(snapshot, core, 1, scratch=object())
+
+    @pytest.mark.parametrize("name", ["flat", "flat-numpy"])
+    def test_out_of_order_k_rebuilds_prefixes(self, name):
+        # Descending and repeated k exercise FlatScratch's backward
+        # prefix-length rebuild — results must match fresh calls exactly.
+        g = erdos_renyi_gnm(40, 200, seed=7)
+        snapshot, core = _prepared(g)
+        degeneracy = max(core, default=0)
+        engine = get_engine(name)
+        fresh = {
+            k: engine(snapshot, core, k) for k in range(1, degeneracy + 1)
+        }
+        scratch = make_scratch(name, snapshot, core)
+        sequence = (
+            list(range(degeneracy, 0, -1))
+            + [1, degeneracy]
+            + list(range(1, degeneracy + 1))
+        )
+        for k in sequence:
+            assert engine(snapshot, core, k, scratch=scratch) == fresh[k], k
+
+
+class TestNumpyFallback:
+    def test_flat_numpy_without_numpy_matches(self, monkeypatch):
+        g = erdos_renyi_gnm(30, 120, seed=5)
+        snapshot, core = _prepared(g)
+        degeneracy = max(core, default=0)
+        with_numpy = {
+            k: peel_fixed_k_flat_numpy(snapshot, core, k)
+            for k in range(1, degeneracy + 1)
+        }
+        monkeypatch.setattr(peel_flat, "_np", None)
+        assert not peel_flat.have_numpy()
+        without_numpy = {
+            k: peel_fixed_k_flat_numpy(snapshot, core, k)
+            for k in range(1, degeneracy + 1)
+        }
+        assert without_numpy == with_numpy
+
+    def test_fallback_scratch_has_no_numpy_views(self, monkeypatch):
+        monkeypatch.setattr(peel_flat, "_np", None)
+        snapshot, core = _prepared(erdos_renyi_gnm(15, 40, seed=3))
+        scratch = FlatScratch(snapshot, core, use_numpy=True)
+        assert scratch.core_np is None
 
 
 class TestDecompositionEngineParameter:

@@ -191,6 +191,10 @@ class TestKP006:
         src = "while queue:\n    batch = set()\n"
         assert codes(src, path="src/repro/analysis/report.py") == []
 
+    def test_flat_engine_module_is_hot(self):
+        src = "while remaining:\n    dirty = []\n"
+        assert codes(src, path="src/repro/core/peel_flat.py") == ["KP006"]
+
 
 # ----------------------------------------------------------------------
 # KP007 — per-iteration metric recording in the peeling hot loops
@@ -291,6 +295,10 @@ class TestKP007:
     def test_non_hot_modules_are_not_checked(self):
         src = "while heap:\n    obs.inc('x')\n"
         assert codes(src, path="src/repro/core/maintenance.py") == []
+
+    def test_flat_engine_module_is_hot(self):
+        src = "while remaining:\n    obs.inc('decomp.flat.moves')\n"
+        assert codes(src, path="src/repro/core/peel_flat.py") == ["KP007"]
 
 
 # ----------------------------------------------------------------------
@@ -536,6 +544,24 @@ class TestKP011:
             "    with Pool(2, initializer=_setup, initargs=(snapshot,)) as pool:\n"
             "        return list(pool.imap_unordered(_task, items))\n"
             "def _setup(snapshot):\n"
+            "    return None\n"
+        )
+        assert analysis_codes(tmp_path, {"pkg/driver.py": module}) == []
+
+    def test_chunked_scheduler_shape_is_clean(self, tmp_path):
+        """The parallel driver's work-stealing shape: module-level chunk
+        worker, plain ``list[list[int]]`` payloads, picklable initargs."""
+        module = (
+            "from multiprocessing import Pool\n"
+            "def _peel_chunk(chunk):\n"
+            "    return [(k, [k]) for k in chunk]\n"
+            "def drive(chunks, snapshot, engine):\n"
+            "    with Pool(2, initializer=_setup, initargs=(snapshot, engine)) as pool:\n"
+            "        out = []\n"
+            "        for peeled in pool.imap_unordered(_peel_chunk, chunks):\n"
+            "            out.extend(peeled)\n"
+            "    return out\n"
+            "def _setup(snapshot, engine):\n"
             "    return None\n"
         )
         assert analysis_codes(tmp_path, {"pkg/driver.py": module}) == []
