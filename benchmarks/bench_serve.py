@@ -1,18 +1,22 @@
 """Record the serving baseline into ``BENCH_serve.json``.
 
 Standalone script (not a pytest-benchmark case): it runs the seeded
-serve-bench workload across cache-on/cache-off and a thread sweep, plus
-the sequential differential audit (every answer set compared against the
-naive fixpoint on a mirror graph), and writes the committed baseline
-file future serving PRs compare against.
+serve-bench workload across uniform/zipf query skew, cache-on/cache-off,
+and a thread sweep (median of ``--repeat`` runs per configuration, by
+``query_qps``), plus the sequential differential audit per spec (every
+answer set compared against the naive fixpoint on a mirror graph), and
+writes the committed baseline file future serving PRs compare against.
 
 Run from the repository root::
 
     PYTHONPATH=src python benchmarks/bench_serve.py
 
-The committed file must show ``"stale_serves": 0`` in every audit entry
-and a cache hit-rate > 0 on the default workload — the acceptance bar of
-the serving layer (see docs/serving.md).
+The committed file must show ``"stale_serves": 0`` in every audit entry,
+a cache hit-rate > 0 on every cached run, and — on the single-reader
+rows, where steady-phase walls resolve the per-query marginal — cache-on
+``query_qps`` beating cache-off on the zipf spec and at least holding
+parity (within ``PARITY_SLACK``) on the uniform spec.  That is the
+acceptance bar of the serving layer (see docs/serving.md).
 """
 
 from __future__ import annotations
@@ -33,36 +37,85 @@ __all__ = ["main", "record_serving_baseline"]
 #: Mixed read-heavy workload: most updates hit low-core endpoints of a
 #: sparse random graph, so Thms. 2/6/7 leave most A_k versions alone and
 #: the cache keeps serving across them.
-DEFAULT_SPEC = (
+UNIFORM_SPEC = (
     "ops=600,query=8,insert=1,delete=1,vertices=60,kmax=6,plevels=10,prefill=90"
 )
 
+#: Zipf exponent of the skewed row: rank-r grid cell gets weight 1/r^s.
+ZIPF_S = 1.2
+
+#: Same shape, zipf-skewed queries — identical update stream per seed
+#: (query draws use a dedicated RNG), so the pair isolates query
+#: locality.  Real traffic is skewed; the uniform spec structurally
+#: cannot reward any cache.
+ZIPF_SPEC = UNIFORM_SPEC + f",skew={ZIPF_S}"
+
+DEFAULT_SPEC = UNIFORM_SPEC
+
+#: Uniform cache-on may not win much (one steady pass repeats only a
+#: handful of keys), but it must not collapse vs cache-off: this is a
+#: guardrail against the old hit-path pathology (hits costing more than
+#: rebuilds), not a tight parity claim — host drift alone moves single
+#: medians ~10%.
+PARITY_SLACK = 0.25
+
+
+def _one_run(spec: str, seed: int, threads: int, cache: bool) -> dict[str, object]:
+    with tempfile.TemporaryDirectory(prefix="repro-bench-") as tmp:
+        return run_serve_bench(
+            os.path.join(tmp, "state"),
+            spec=spec,
+            seed=seed,
+            threads=threads,
+            cache=cache,
+        )
+
 
 def record_serving_baseline(
-    spec: str = DEFAULT_SPEC,
+    specs: Sequence[str] = (UNIFORM_SPEC, ZIPF_SPEC),
     seed: int = 7,
     thread_counts: Sequence[int] = (1, 2, 4),
+    repeat: int = 3,
 ) -> dict[str, object]:
-    """Throughput entries per (cache, threads) plus the audit entries."""
+    """Throughput entries per (spec, cache, threads) plus the audits.
+
+    Repeats are interleaved round-robin across configurations (pass 1
+    runs every config once, then pass 2, ...) rather than run as
+    per-config blocks, so slow host drift lands on cache-on and
+    cache-off alike instead of biasing whichever block ran during the
+    slow minute.  Each entry is the median of its ``repeat`` runs by
+    ``query_qps``.
+    """
+    configs = [
+        (spec, cache, threads)
+        for spec in specs
+        for cache in (True, False)
+        for threads in thread_counts
+    ]
+    runs: dict[tuple[str, bool, int], list[dict[str, object]]] = {
+        config: [] for config in configs
+    }
+    for _ in range(repeat):
+        for spec, cache, threads in configs:
+            runs[(spec, cache, threads)].append(
+                _one_run(spec, seed, threads, cache)
+            )
     entries: list[dict[str, object]] = []
-    for cache in (True, False):
-        for threads in thread_counts:
-            with tempfile.TemporaryDirectory(prefix="repro-bench-") as tmp:
-                entries.append(
-                    run_serve_bench(
-                        os.path.join(tmp, "state"),
-                        spec=spec,
-                        seed=seed,
-                        threads=threads,
-                        cache=cache,
-                    )
-                )
+    for config in configs:
+        ordered = sorted(
+            runs[config],
+            key=lambda run: float(run["query_qps"]),  # type: ignore[arg-type]
+        )
+        chosen = ordered[len(ordered) // 2]
+        chosen["repeat"] = repeat
+        entries.append(chosen)
     audits = [
         run_differential_probes(spec=spec, seed=seed, cache=cache, probe_every=1)
+        for spec in specs
         for cache in (True, False)
     ]
     return {
-        "spec": spec,
+        "specs": list(specs),
         "seed": seed,
         "python": platform.python_version(),
         "cpus": os.cpu_count(),
@@ -73,35 +126,87 @@ def record_serving_baseline(
     }
 
 
+def _gate_cache_wins(entries: Sequence[dict[str, object]]) -> list[str]:
+    """Spec-level cache-on vs cache-off checks; returns failure strings.
+
+    Gated at ``threads == 1`` only: the single-reader steady phase is
+    where the per-query marginal (cache probe vs slice rebuild) is
+    actually resolvable.  Multi-thread rows measure GIL scheduling as
+    much as query cost (observed spreads of 2-3x between repeats on a
+    shared host), so they are recorded for scaling context but not
+    gated.
+    """
+    failures: list[str] = []
+    by_key: dict[tuple[str, int, bool], float] = {}
+    for entry in entries:
+        key = (str(entry["spec"]), int(entry["threads"]), bool(entry["cache"]))  # type: ignore[arg-type]
+        by_key[key] = float(entry["query_qps"])  # type: ignore[arg-type]
+    for (spec, threads, cache), qps in sorted(by_key.items()):
+        if not cache or threads != 1:
+            continue
+        off = by_key.get((spec, threads, False))
+        if off is None:
+            continue
+        zipf = "skew=" in spec and "skew=0," not in spec
+        if zipf and qps <= off:
+            failures.append(
+                f"zipf spec threads={threads}: cache-on query_qps {qps} "
+                f"<= cache-off {off}"
+            )
+        if not zipf and qps < off * (1.0 - PARITY_SLACK):
+            failures.append(
+                f"uniform spec threads={threads}: cache-on query_qps {qps} "
+                f"more than {PARITY_SLACK:.0%} below cache-off {off}"
+            )
+    return failures
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--spec", default=DEFAULT_SPEC)
+    parser.add_argument(
+        "--spec", nargs="+", default=[UNIFORM_SPEC, ZIPF_SPEC],
+        metavar="SPEC",
+    )
     parser.add_argument("--seed", type=int, default=7)
     parser.add_argument(
         "--threads", type=int, nargs="+", default=[1, 2, 4], metavar="N"
     )
+    parser.add_argument("--repeat", type=int, default=3, metavar="N")
     parser.add_argument("--out", default="BENCH_serve.json", metavar="FILE")
     args = parser.parse_args(argv)
     baseline = record_serving_baseline(
-        spec=args.spec, seed=args.seed, thread_counts=args.threads
+        specs=args.spec,
+        seed=args.seed,
+        thread_counts=args.threads,
+        repeat=args.repeat,
     )
     stale = sum(int(audit["stale_serves"]) for audit in baseline["audits"])
-    cached_entries = [
-        entry for entry in baseline["entries"] if entry["cache"]
-    ]
+    entries = baseline["entries"]
+    cached_entries = [entry for entry in entries if entry["cache"]]
     hit_rates = [
         entry["cache_stats"]["hit_rate"] for entry in cached_entries
     ]
+    failures = _gate_cache_wins(entries)
     with open(args.out, "w", encoding="utf-8") as handle:
         json.dump(baseline, handle, indent=2)
         handle.write("\n")
     print(f"wrote {args.out}")
     print(f"stale_serves total: {stale} (must be 0)")
     print(f"cache hit rates (threaded runs): {hit_rates}")
+    for entry in entries:
+        print(
+            f"  spec={entry['spec']!s:.40}…  threads={entry['threads']}  "
+            f"cache={'on' if entry['cache'] else 'off'}  "
+            f"query_qps={entry['query_qps']}  ops_per_s={entry['ops_per_s']}"
+        )
     if stale:
         return 1
-    if not any(rate > 0 for rate in hit_rates):
-        print("error: cache hit-rate is 0 on every cached run")
+    if not all(rate > 0 for rate in hit_rates):
+        print("error: a cached run recorded hit-rate 0")
+        return 1
+    for failure in failures:
+        print(f"error: {failure}")
+    if failures:
         return 1
     return 0
 

@@ -3,13 +3,14 @@
 ``python -m repro bench diff OLD NEW [--tolerance R]`` compares two
 bench payloads entry by entry.  Entries are matched on their *identity
 keys* (``dataset``, ``engine``, ``workers``, ``spec``, ``seed``,
-``threads``, ``cache``, ``cache_size`` — whichever subset an entry
-carries), and within each matched pair every known *directional metric*
-is compared:
+``threads``, ``cache``, ``cache_size``, ``min_answer_size``,
+``steady_rounds`` — whichever subset an entry carries), and within each
+matched pair every known *directional metric* is compared:
 
-* lower is better — ``min_s``, ``median_s``, ``elapsed_s``, every
-  ``latency_ms.*`` percentile, ``stale_serves``;
-* higher is better — ``qps``, ``cache_stats.hit_rate``.
+* lower is better — ``min_s``, ``median_s``, ``elapsed_s``,
+  ``query_wall_s``, every ``latency_ms.*`` percentile, ``stale_serves``;
+* higher is better — ``qps`` (legacy), ``query_qps``, ``ops_per_s``,
+  ``cache_stats.hit_rate``.
 
 A metric **regresses** when it moves in the bad direction by more than
 the relative tolerance.  A matched entry missing from the new payload
@@ -57,6 +58,10 @@ _IDENTITY_KEYS = (
     "threads",
     "cache",
     "cache_size",
+    "min_answer_size",
+    # Measurement methodology: a query_qps from a different steady-phase
+    # round count is a different experiment, not a regression signal.
+    "steady_rounds",
 )
 
 #: Dotted metric path -> direction ("lower" / "higher" is better).
@@ -69,7 +74,10 @@ _DIRECTIONS: dict[str, str] = {
     "latency_ms.p99": "lower",
     "latency_ms.max": "lower",
     "stale_serves": "lower",
+    "query_wall_s": "lower",
     "qps": "higher",
+    "query_qps": "higher",
+    "ops_per_s": "higher",
     "cache_stats.hit_rate": "higher",
 }
 

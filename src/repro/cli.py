@@ -200,6 +200,7 @@ def _cmd_index_serve_bench(args: argparse.Namespace) -> int:
         threads=args.threads,
         cache=not args.no_cache,
         cache_size=args.cache_size,
+        min_answer_size=args.min_answer_size,
     )
     latency = result["latency_ms"]
     cache_stats = result["cache_stats"]
@@ -207,12 +208,15 @@ def _cmd_index_serve_bench(args: argparse.Namespace) -> int:
     print(f"threads {result['threads']}  cache "
           f"{'on' if result['cache'] else 'off'}  "
           f"queries {result['queries']}  updates {result['updates']}")
-    print(f"elapsed {result['elapsed_s']}s  throughput {result['qps']} q/s")
+    print(f"elapsed {result['elapsed_s']}s  throughput "
+          f"{result['query_qps']} q/s (query wall)  "
+          f"{result['ops_per_s']} ops/s (total)")
     print(f"latency ms  p50={latency['p50']}  p95={latency['p95']}  "
           f"p99={latency['p99']}  max={latency['max']}")
     print(f"cache  hits={cache_stats['hits']}  misses={cache_stats['misses']}  "
           f"invalidations={cache_stats['invalidations']}  "
           f"evictions={cache_stats['evictions']}  "
+          f"admission_rejects={cache_stats['admission_rejects']}  "
           f"hit_rate={cache_stats['hit_rate']}")
     if args.probe_every:
         probe = run_differential_probes(
@@ -220,6 +224,7 @@ def _cmd_index_serve_bench(args: argparse.Namespace) -> int:
             seed=args.seed,
             cache=not args.no_cache,
             cache_size=args.cache_size,
+            min_answer_size=args.min_answer_size,
             probe_every=args.probe_every,
         )
         result["probes"] = probe["probes"]
@@ -531,6 +536,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument(
         "--cache-size", type=int, default=4096, metavar="N",
         help="result cache capacity (default: %(default)s)",
+    )
+    p_serve.add_argument(
+        "--min-answer-size", type=int, default=0, metavar="N",
+        help="cache admission threshold: answers smaller than N vertices "
+        "are served but never cached (default: %(default)s)",
     )
     p_serve.add_argument(
         "--probe-every", type=int, default=0, metavar="N",

@@ -95,6 +95,11 @@ class KArray:
     level_values: list[float] = field(init=False)
     level_starts: list[int] = field(init=False)
     _pn_of: dict[Vertex, float] = field(init=False, repr=False)
+    # Lazily materialized per-level answer tuples (index aligned with
+    # level_values; None = not built yet).  Reset by _rebuild_levels, so
+    # every mutation path (splice, A_1 bookkeeping, full rebuild)
+    # invalidates them together with the level structure.
+    _slices: list[tuple[Vertex, ...] | None] = field(init=False, repr=False)
 
     def __post_init__(self) -> None:
         if len(self.vertices) != len(self.p_numbers):
@@ -120,6 +125,7 @@ class KArray:
                 previous = pn
         self.level_values = values
         self.level_starts = starts
+        self._slices = [None] * len(values)
         self._pn_of = dict(zip(self.vertices, self.p_numbers))
         if len(self._pn_of) != len(self.vertices):
             raise IndexStateError(f"A_{self.k}: duplicate vertex in V_k")
@@ -134,14 +140,52 @@ class KArray:
         )
 
     # ------------------------------------------------------------------
-    def query(self, p: float) -> list[Vertex]:
-        """Vertices of the (k,p)-core at this array's ``k`` (Algorithm 3)."""
+    def level_index(self, p: float) -> int:
+        """Index into ``P_k`` of the first level ``>= p`` (Algorithm 3's
+        binary search), as a canonical integer key.
+
+        Every float spelling of ``p`` inside one inter-level gap maps to
+        the same integer — ``0.3`` and a grid-produced
+        ``0.30000000000000004`` share a level unless a p-number lies
+        strictly between them.  ``len(level_values)`` means "above the
+        largest p-number": the empty answer.  The serving cache keys on
+        this integer instead of the raw float (see
+        :mod:`repro.service.server`).
+        """
         check_p(p)
-        j = bisect_left(self.level_values, p)
-        if j == len(self.level_values):
-            result: list[Vertex] = []
-        else:
-            result = self.vertices[self.level_starts[j] :]
+        return bisect_left(self.level_values, p)
+
+    def slice_at(self, level: int) -> tuple[Vertex, ...]:
+        """The precomputed answer slice of one ``P_k`` level.
+
+        A suffix-of-members tuple, materialized lazily once per level
+        per rebuild (every array mutation resets the store via
+        ``_rebuild_levels``) and counted as ``index.slice_rebuilds``.
+        Queries and serving-cache entries return this stored tuple
+        directly — O(1) after the first touch, never a per-query list
+        rebuild.  Safe under concurrent readers: racing builds assign
+        equal immutable tuples.  ``level == len(level_values)`` is the
+        empty answer.
+        """
+        if not 0 <= level <= len(self.level_values):
+            raise ParameterError(
+                f"A_{self.k}: level index {level} out of range "
+                f"[0, {len(self.level_values)}]"
+            )
+        if level == len(self.level_values):
+            return ()
+        cached = self._slices[level]
+        if cached is None:
+            cached = tuple(self.vertices[self.level_starts[level] :])
+            self._slices[level] = cached
+            obs = get_collector()
+            if obs is not None:
+                obs.inc(names.INDEX_SLICE_REBUILDS)
+        return cached
+
+    def query_slice(self, p: float) -> tuple[Vertex, ...]:
+        """Algorithm 3 as a stored-tuple return (shared; do not mutate)."""
+        result = self.slice_at(self.level_index(p))
         obs = get_collector()
         if obs is not None:
             # Theorem 1 made countable: touched vertices == answer size,
@@ -153,6 +197,14 @@ class KArray:
             obs.observe(names.INDEX_ANSWER_SIZE, len(result))
             obs.observe(names.INDEX_LEVELS_SEARCHED, len(self.level_values))
         return result
+
+    def query(self, p: float) -> list[Vertex]:
+        """Vertices of the (k,p)-core at this array's ``k`` (Algorithm 3).
+
+        Returns a fresh list the caller may own; the allocation-free
+        path is :meth:`query_slice`.
+        """
+        return list(self.query_slice(p))
 
     def p_number(self, v: Vertex) -> float:
         """``pn(v, k)``; raises ``KeyError`` if ``v`` is not in this k-core."""
@@ -255,6 +307,13 @@ class KPIndex:
         # :mod:`repro.service.server`.  Versions are in-memory state: they
         # are not persisted and restart at 0 on load.
         self._versions: dict[int, int] = {}
+        # (k, p) -> (version, level) memo for :meth:`answer_key`.  A
+        # stored pair is returned only while A_k's version still equals
+        # the stored one, and every A_k mutation bumps the version, so
+        # entries self-invalidate; the cap below bounds adversarial
+        # float churn.  Plain-dict ops are GIL-atomic; racing readers at
+        # worst recompute.
+        self._key_memo: dict[tuple[int, float], tuple[int, int]] = {}
 
     # ------------------------------------------------------------------
     @classmethod
@@ -315,11 +374,60 @@ class KPIndex:
         """Snapshot of every non-zero per-k version (k -> version)."""
         return dict(self._versions)
 
-    def query(self, k: int, p: float) -> list[Vertex]:
-        """Vertex set of ``C_{k,p}(G)`` — Algorithm 3 (kpCoreQuery).
+    def level_index(self, k: int, p: float) -> int:
+        """Canonical grid level of ``p`` within ``A_k`` (0 if no array).
 
-        Returns the empty list when ``k`` exceeds the degeneracy or ``p``
-        exceeds the largest p-number in ``A_k``.
+        The integer the serving cache keys on: two float spellings of
+        the same level resolve to one key.  Only meaningful together
+        with :meth:`version` — a mutation that reshapes ``P_k`` also
+        bumps the version, so ``(k, level)`` keys never alias across
+        versions.
+        """
+        if k < 1:
+            raise ParameterError(f"degree threshold k must be >= 1, got {k}")
+        array = self._arrays.get(k)
+        if array is None:
+            check_p(p)
+            return 0
+        return array.level_index(p)
+
+    def answer_key(self, k: int, p: float) -> tuple[int, int]:
+        """``(version(k), level_index(k, p))`` fetched in one call.
+
+        The serving cache's probe key: one method dispatch instead of
+        two on the hot path.  ``k`` and ``p`` are assumed validated by
+        the caller (the server validates before the cache is touched);
+        ``p`` is still forwarded through :meth:`KArray.level_index`'s
+        ``check_p``.
+
+        Repeat probes for the same ``(k, p)`` are memoized: the level
+        of a given ``p`` within ``A_k`` can only change when ``A_k``
+        itself changes, which bumps the version, so a memo pair whose
+        stored version still matches is returned without re-running the
+        binary search.
+        """
+        version = self._versions.get(k, 0)
+        memo = self._key_memo.get((k, p))
+        if memo is not None and memo[0] == version:
+            return memo
+        array = self._arrays.get(k)
+        if array is None:
+            check_p(p)
+            pair = (version, 0)
+        else:
+            pair = (version, array.level_index(p))
+        if len(self._key_memo) >= 4096:
+            self._key_memo.clear()
+        self._key_memo[(k, p)] = pair
+        return pair
+
+    def query_slice(self, k: int, p: float) -> tuple[Vertex, ...]:
+        """Algorithm 3 as a stored-tuple return (shared; do not mutate).
+
+        The serving hot path: the answer is the precomputed per-level
+        slice of ``A_k``, not a per-query list rebuild.  Empty when
+        ``k`` exceeds the degeneracy or ``p`` exceeds the largest
+        p-number in ``A_k``.
         """
         if k < 1:
             raise ParameterError(f"degree threshold k must be >= 1, got {k}")
@@ -331,8 +439,17 @@ class KPIndex:
                 obs.inc(names.INDEX_QUERIES)
                 obs.inc(names.INDEX_EMPTY_QUERIES)
                 obs.observe(names.INDEX_ANSWER_SIZE, 0)
-            return []
-        return array.query(p)
+            return ()
+        return array.query_slice(p)
+
+    def query(self, k: int, p: float) -> list[Vertex]:
+        """Vertex set of ``C_{k,p}(G)`` — Algorithm 3 (kpCoreQuery).
+
+        Returns the empty list when ``k`` exceeds the degeneracy or ``p``
+        exceeds the largest p-number in ``A_k``.  The list is fresh and
+        caller-owned; :meth:`query_slice` is the allocation-free path.
+        """
+        return list(self.query_slice(k, p))
 
     def p_number(self, v: Vertex, k: int) -> float:
         """``pn(v, k, G)``; ``KeyError`` if ``v`` is outside the k-core."""

@@ -174,6 +174,15 @@ class KPIndexMaintainer:
         """
         return self.index.query(k, p)
 
+    @verify_maintainer_query
+    def query_slice(self, k: int, p: float) -> tuple[Vertex, ...]:
+        """The (k,p)-core answer as the index's stored tuple (shared).
+
+        The serving hot path: no per-query list build.  Verified against
+        from-scratch kpCore under ``REPRO_VERIFY=1`` like :meth:`query`.
+        """
+        return self.index.query_slice(k, p)
+
     # ------------------------------------------------------------------
     # vertex dynamics (Sec. VI preamble): reduce to edge updates
     # ------------------------------------------------------------------

@@ -95,6 +95,7 @@ INDEX_EMPTY_QUERIES = "index.empty_queries"
 INDEX_VERTICES_TOUCHED = "index.vertices_touched"
 INDEX_ANSWER_SIZE = "index.answer_size"
 INDEX_LEVELS_SEARCHED = "index.levels_searched"
+INDEX_SLICE_REBUILDS = "index.slice_rebuilds"
 
 # ----------------------------------------------------------------------
 # durable index service (repro.service) — checkpoints, journal, recovery
@@ -112,6 +113,7 @@ SERVER_CACHE_HITS = "service.cache.hits"
 SERVER_CACHE_MISSES = "service.cache.misses"
 SERVER_CACHE_INVALIDATIONS = "service.cache.invalidations"
 SERVER_CACHE_EVICTIONS = "service.cache.evictions"
+SERVER_CACHE_ADMISSION_REJECTS = "service.cache.admission_rejects"
 SERVER_BATCH_SIZE = "service.server.batch_size"
 
 # ----------------------------------------------------------------------
@@ -189,6 +191,7 @@ COUNTERS: dict[str, str] = {
     INDEX_QUERIES: "KP-Index queries answered (Algorithm 3)",
     INDEX_EMPTY_QUERIES: "queries whose answer was empty",
     INDEX_VERTICES_TOUCHED: "vertices returned across all queries",
+    INDEX_SLICE_REBUILDS: "per-(k, level) answer slices materialized (lazy, reset on array mutation)",
     SERVICE_CHECKPOINTS: "durable checkpoints written (graph + index + manifest)",
     SERVICE_JOURNAL_RECORDS: "write-ahead journal records appended",
     SERVICE_REPLAYED: "journal records replayed during recovery",
@@ -198,6 +201,7 @@ COUNTERS: dict[str, str] = {
     SERVER_CACHE_MISSES: "server queries that had to run Algorithm 3",
     SERVER_CACHE_INVALIDATIONS: "cache entries dropped because their A_k version moved",
     SERVER_CACHE_EVICTIONS: "cache entries evicted by the LRU capacity bound",
+    SERVER_CACHE_ADMISSION_REJECTS: "answers below min_answer_size denied cache admission",
     KCORE_MAINT_PROMOTED: "vertices whose core number rose by an insert",
     KCORE_MAINT_DEMOTED: "vertices whose core number fell by a delete",
     KORDER_LEVELS_REBUILT: "k-order levels rebuilt after a core change",

@@ -41,6 +41,7 @@ from repro.service.journal import (
 )
 from repro.service.server import (
     DEFAULT_CACHE_SIZE,
+    DEFAULT_MIN_ANSWER_SIZE,
     CacheStats,
     KPCoreServer,
     QueryCache,
@@ -60,6 +61,7 @@ __all__ = [
     "CacheStats",
     "RWLock",
     "DEFAULT_CACHE_SIZE",
+    "DEFAULT_MIN_ANSWER_SIZE",
     "WorkloadSpec",
     "generate_workload",
     "split_workload",

@@ -270,6 +270,10 @@ class DurableMaintainer:
     def query(self, k: int, p: float) -> list[Vertex]:
         return self.maintainer.query(k, p)
 
+    def query_slice(self, k: int, p: float) -> tuple[Vertex, ...]:
+        """The stored answer tuple for ``(k, p)`` (shared; do not mutate)."""
+        return self.maintainer.query_slice(k, p)
+
     # ------------------------------------------------------------------
     # the update path
     # ------------------------------------------------------------------

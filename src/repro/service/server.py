@@ -10,13 +10,26 @@ DurableMaintainer` into a thread-safe serving surface:
 * **Versioned result cache** — every ``A_k`` carries a monotonic version
   counter (see :meth:`~repro.core.index.KPIndex.version`) that the
   maintenance layer bumps exactly when it mutates the array.  Answers
-  are cached under ``(k, p)`` together with the version they were
-  computed at; the theorem-driven skip logic of Algorithms 4/5 (Thms.
-  2, 6, 7) therefore doubles as the cache-invalidation oracle: an update
-  that provably leaves ``A_k`` untouched leaves its cached answers
-  serving.  After each write the server eagerly purges every entry whose
-  version moved, so the cache never *holds* a stale answer, not merely
-  never serves one.
+  are cached under ``(k, level)`` — the float ``p`` is resolved to its
+  canonical grid level once via
+  :meth:`~repro.core.index.KPIndex.level_index`, so ``0.3`` and a
+  grid-produced ``0.30000000000000004`` share one entry — together with
+  the version they were computed at; the theorem-driven skip logic of
+  Algorithms 4/5 (Thms. 2, 6, 7) therefore doubles as the
+  cache-invalidation oracle: an update that provably leaves ``A_k``
+  untouched leaves its cached answers serving.  After each write the
+  server eagerly purges every entry whose version moved, so the cache
+  never *holds* a stale answer, not merely never serves one.
+* **Stored-tuple answers** — :meth:`query` / :meth:`query_many` return
+  ``Sequence[Vertex]``: the index's precomputed per-level slice tuple
+  (or the cached reference to it), never a per-query list rebuild.  No
+  list materialization happens while the read lock is held; callers
+  that need a mutable list call ``list(...)`` outside the lock.
+* **Cache admission control** — answers smaller than
+  ``min_answer_size`` are not admitted (tiny answers are cheaper to
+  re-fetch from the slice store than to LRU-shuffle past large ones);
+  rejects are counted as ``service.cache.admission_rejects``.  The
+  default ``min_answer_size=0`` admits everything.
 * **Batch queries** — :meth:`query_many` answers a list of ``(k, p)``
   pairs under a single read-lock acquisition.
 
@@ -67,9 +80,11 @@ __all__ = [
     "QueryCache",
     "KPCoreServer",
     "DEFAULT_CACHE_SIZE",
+    "DEFAULT_MIN_ANSWER_SIZE",
 ]
 
 DEFAULT_CACHE_SIZE = 4096
+DEFAULT_MIN_ANSWER_SIZE = 0
 
 
 class RWLock:
@@ -179,6 +194,7 @@ class CacheStats:
     misses: int
     invalidations: int
     evictions: int
+    admission_rejects: int
     size: int
     capacity: int
 
@@ -193,72 +209,120 @@ class CacheStats:
 
 
 class QueryCache:
-    """LRU cache of query answers keyed ``(k, p)``, guarded by versions.
+    """LRU cache of answers keyed ``(k, level)``, guarded by versions.
 
+    Keys are canonical integer grid levels (see
+    :meth:`~repro.core.index.KPIndex.level_index`), not raw float
+    ``p`` values — every float spelling of one level shares one entry.
     Each entry stores the ``A_k`` version it was computed at.  A lookup
     hits only when the stored version equals the current one; a lookup
     that finds an outdated entry drops it (counted as an invalidation)
     and reports a miss.  :meth:`purge_k` drops every entry of one ``k``
     — the eager path the server runs for each array an update actually
-    mutated.  All operations take the internal mutex, so concurrent
-    readers may share one cache (the LRU reordering is a mutation even
-    on the hit path).
+    mutated.  Answers shorter than ``min_answer_size`` are refused
+    admission (counted as ``admission_rejects``): re-fetching a tiny
+    answer from the index's slice store costs about as much as a cache
+    hit, so letting it in only churns the LRU order against answers
+    that are worth keeping.  All operations take the internal mutex, so
+    concurrent readers may share one cache (the LRU reordering is a
+    mutation even on the hit path).
     """
 
-    def __init__(self, capacity: int = DEFAULT_CACHE_SIZE) -> None:
+    def __init__(
+        self,
+        capacity: int = DEFAULT_CACHE_SIZE,
+        min_answer_size: int = DEFAULT_MIN_ANSWER_SIZE,
+    ) -> None:
         if capacity < 1:
             raise ParameterError(
                 f"cache capacity must be >= 1, got {capacity}"
             )
+        if min_answer_size < 0:
+            raise ParameterError(
+                f"min_answer_size must be >= 0, got {min_answer_size}"
+            )
         self.capacity = capacity
+        self.min_answer_size = min_answer_size
         self._mutex = threading.Lock()
-        # (k, p) -> (version, answer); insertion order = LRU order.
+        # (k, level) -> (version, answer); insertion order = LRU order.
         self._entries: OrderedDict[
-            tuple[int, float], tuple[int, tuple[Vertex, ...]]
+            tuple[int, int], tuple[int, tuple[Vertex, ...]]
         ] = OrderedDict()
-        # k -> set of cached p values, for O(|entries of k|) purges.
-        self._by_k: dict[int, set[float]] = {}
+        # k -> set of cached levels, for O(|entries of k|) purges.
+        self._by_k: dict[int, set[int]] = {}
         self.hits = 0
         self.misses = 0
         self.invalidations = 0
         self.evictions = 0
+        self.admission_rejects = 0
 
     def get(
-        self, k: int, p: float, version: int
+        self, k: int, level: int, version: int
     ) -> tuple[Vertex, ...] | None:
-        """The cached answer for ``(k, p)`` at exactly ``version``."""
+        """The cached answer for ``(k, level)`` at exactly ``version``."""
         tracer = get_tracer()
         if tracer is None:
-            return self._get(k, p, version)
+            # Untraced hit fast path, duplicated from _get to skip one
+            # call frame — see _get for why it is safe without the lock.
+            key = (k, level)
+            entry = self._entries.get(key)
+            if entry is not None and entry[0] == version:
+                try:
+                    self._entries.move_to_end(key)
+                except KeyError:
+                    pass  # concurrently evicted; the answer stays fresh
+                self.hits += 1
+                obs = get_collector()
+                if obs is not None:
+                    obs.inc(metric.SERVER_CACHE_HITS)
+                return entry[1]
+            return self._get(k, level, version)
         start = time.perf_counter()
-        cached = self._get(k, p, version)
+        cached = self._get(k, level, version)
         tracer.record(
             metric.TRACE_CACHE_PROBE,
             start,
             time.perf_counter(),
             k=k,
-            p=p,
+            level=level,
             hit=cached is not None,
         )
         return cached
 
     def _get(
-        self, k: int, p: float, version: int
+        self, k: int, level: int, version: int
     ) -> tuple[Vertex, ...] | None:
+        # Lock-free hit path: C-implemented OrderedDict ops are atomic
+        # under the GIL, the entry tuple is immutable, and purges run
+        # under the server's exclusive write lock (no concurrent
+        # readers then).  The only race left is a concurrent _put
+        # evicting the key between the get and the move_to_end — caught
+        # below; the already-fetched answer stays valid.  The mutex is
+        # reserved for the mutating slow paths (fill, invalidate,
+        # purge), which keeps a hit cheaper than recomputing the answer
+        # slice — the whole economic case for this cache.  `hits` may
+        # undercount by a hair under reader races; it is a statistic,
+        # not a correctness input.
+        key = (k, level)
+        entry = self._entries.get(key)
+        if entry is not None and entry[0] == version:
+            try:
+                self._entries.move_to_end(key)
+            except KeyError:
+                pass  # concurrently evicted; the answer is still fresh
+            self.hits += 1
+            obs = get_collector()
+            if obs is not None:
+                obs.inc(metric.SERVER_CACHE_HITS)
+            return entry[1]
         obs = get_collector()
         with self._mutex:
-            entry = self._entries.get((k, p))
-            if entry is not None and entry[0] == version:
-                self._entries.move_to_end((k, p))
-                self.hits += 1
-                if obs is not None:
-                    obs.inc(metric.SERVER_CACHE_HITS)
-                return entry[1]
-            if entry is not None:
+            stale = self._entries.get(key)
+            if stale is not None and stale[0] != version:
                 # Outdated leftover (the eager purge runs under the write
                 # lock, so this is only reachable through direct cache
                 # use); drop it rather than let it linger.
-                self._drop(k, p)
+                self._drop(k, level)
                 self.invalidations += 1
                 if obs is not None:
                     obs.inc(metric.SERVER_CACHE_INVALIDATIONS)
@@ -268,39 +332,46 @@ class QueryCache:
             return None
 
     def put(
-        self, k: int, p: float, version: int, answer: tuple[Vertex, ...]
+        self, k: int, level: int, version: int, answer: tuple[Vertex, ...]
     ) -> None:
         tracer = get_tracer()
         if tracer is None:
-            self._put(k, p, version, answer)
+            self._put(k, level, version, answer)
             return
         start = time.perf_counter()
-        self._put(k, p, version, answer)
+        admitted = self._put(k, level, version, answer)
         tracer.record(
             metric.TRACE_CACHE_FILL,
             start,
             time.perf_counter(),
             k=k,
-            p=p,
+            level=level,
             answer_size=len(answer),
+            admitted=admitted,
         )
 
     def _put(
-        self, k: int, p: float, version: int, answer: tuple[Vertex, ...]
-    ) -> None:
+        self, k: int, level: int, version: int, answer: tuple[Vertex, ...]
+    ) -> bool:
         obs = get_collector()
         with self._mutex:
-            key = (k, p)
+            if len(answer) < self.min_answer_size:
+                self.admission_rejects += 1
+                if obs is not None:
+                    obs.inc(metric.SERVER_CACHE_ADMISSION_REJECTS)
+                return False
+            key = (k, level)
             if key in self._entries:
                 self._entries.move_to_end(key)
             self._entries[key] = (version, answer)
-            self._by_k.setdefault(k, set()).add(p)
+            self._by_k.setdefault(k, set()).add(level)
             while len(self._entries) > self.capacity:
-                (old_k, old_p), _ = self._entries.popitem(last=False)
-                self._discard_by_k(old_k, old_p)
+                (old_k, old_level), _ = self._entries.popitem(last=False)
+                self._discard_by_k(old_k, old_level)
                 self.evictions += 1
                 if obs is not None:
                     obs.inc(metric.SERVER_CACHE_EVICTIONS)
+            return True
 
     def purge_k(self, k: int) -> int:
         """Drop every entry of ``k``; returns how many were dropped."""
@@ -321,12 +392,12 @@ class QueryCache:
     def _purge_k(self, k: int) -> int:
         obs = get_collector()
         with self._mutex:
-            ps = self._by_k.pop(k, None)
-            if not ps:
+            levels = self._by_k.pop(k, None)
+            if not levels:
                 return 0
-            for p in ps:
-                self._entries.pop((k, p), None)
-            dropped = len(ps)
+            for level in levels:
+                self._entries.pop((k, level), None)
+            dropped = len(levels)
             self.invalidations += dropped
             if obs is not None:
                 obs.add(metric.SERVER_CACHE_INVALIDATIONS, dropped)
@@ -337,19 +408,19 @@ class QueryCache:
             self._entries.clear()
             self._by_k.clear()
 
-    def _drop(self, k: int, p: float) -> None:
-        self._entries.pop((k, p), None)
-        self._discard_by_k(k, p)
+    def _drop(self, k: int, level: int) -> None:
+        self._entries.pop((k, level), None)
+        self._discard_by_k(k, level)
 
-    def _discard_by_k(self, k: int, p: float) -> None:
-        ps = self._by_k.get(k)
-        if ps is not None:
-            ps.discard(p)
-            if not ps:
+    def _discard_by_k(self, k: int, level: int) -> None:
+        levels = self._by_k.get(k)
+        if levels is not None:
+            levels.discard(level)
+            if not levels:
                 del self._by_k[k]
 
-    def contents(self) -> dict[tuple[int, float], int]:
-        """``{(k, p): version}`` of everything cached (tests/debugging)."""
+    def contents(self) -> dict[tuple[int, int], int]:
+        """``{(k, level): version}`` of everything cached (tests/debug)."""
         with self._mutex:
             return {key: entry[0] for key, entry in self._entries.items()}
 
@@ -360,6 +431,7 @@ class QueryCache:
                 misses=self.misses,
                 invalidations=self.invalidations,
                 evictions=self.evictions,
+                admission_rejects=self.admission_rejects,
                 size=len(self._entries),
                 capacity=self.capacity,
             )
@@ -385,6 +457,10 @@ class KPCoreServer:
     cache_enabled:
         ``False`` serves every query straight from Algorithm 3 — the
         ablation/soak configuration.
+    min_answer_size:
+        Admission threshold: answers with fewer vertices than this are
+        served but never cached (see :class:`QueryCache`).  ``0`` (the
+        default) admits everything.
     """
 
     def __init__(
@@ -392,11 +468,18 @@ class KPCoreServer:
         durable: DurableMaintainer,
         cache_size: int = DEFAULT_CACHE_SIZE,
         cache_enabled: bool = True,
+        min_answer_size: int = DEFAULT_MIN_ANSWER_SIZE,
     ) -> None:
         self._durable = durable
+        # The maintainer's index object is stable for the server's
+        # lifetime (updates mutate it in place); binding it here skips
+        # two property hops per query on the hot path.
+        self._index = durable.index
         self._lock = RWLock()
         self._cache: QueryCache | None = (
-            QueryCache(cache_size) if cache_enabled else None
+            QueryCache(cache_size, min_answer_size=min_answer_size)
+            if cache_enabled
+            else None
         )
         self._queries = 0
         self._queries_mutex = threading.Lock()
@@ -410,7 +493,7 @@ class KPCoreServer:
 
     @property
     def index(self) -> KPIndex:
-        return self._durable.index
+        return self._index
 
     @property
     def cache_enabled(self) -> bool:
@@ -426,12 +509,12 @@ class KPCoreServer:
         if self._cache is None:
             return CacheStats(
                 hits=0, misses=0, invalidations=0, evictions=0,
-                size=0, capacity=0,
+                admission_rejects=0, size=0, capacity=0,
             )
         return self._cache.stats()
 
-    def cache_contents(self) -> dict[tuple[int, float], int]:
-        """``{(k, p): version}`` of the live cache (tests/debugging)."""
+    def cache_contents(self) -> dict[tuple[int, int], int]:
+        """``{(k, level): version}`` of the live cache (tests/debug)."""
         if self._cache is None:
             return {}
         return self._cache.contents()
@@ -447,32 +530,44 @@ class KPCoreServer:
             )
         check_p(p)
 
-    def query(self, k: int, p: float) -> list[Vertex]:
+    def query(self, k: int, p: float) -> Sequence[Vertex]:
         """Vertices of ``C_{k,p}`` on the current graph, cache-assisted.
 
-        Validation runs before the cache is consulted, so out-of-range
-        parameters raise (:class:`~repro.errors.ParameterError`) rather
-        than ever touching — or poisoning — the cache.
+        Returns the index's stored answer tuple (possibly via the
+        cache) — treat it as immutable and ``list(...)`` it outside the
+        lock if a mutable copy is needed.  Validation runs before the
+        cache is consulted, so out-of-range parameters raise
+        (:class:`~repro.errors.ParameterError`) rather than ever
+        touching — or poisoning — the cache.
         """
         self._validate(k, p)
+        obs = get_collector()
+        if obs is not None:
+            obs.inc(metric.SERVER_QUERIES)
+        with self._queries_mutex:
+            self._queries += 1
         with maybe_trace_span(metric.TRACE_SERVER_QUERY, k=k, p=p) as span:
             with self._lock.read_locked(site="query"):
                 return self._answer_locked(k, p, span)
 
     def query_many(
         self, pairs: Sequence[tuple[int, float]]
-    ) -> list[list[Vertex]]:
+    ) -> list[Sequence[Vertex]]:
         """Answer many ``(k, p)`` queries under one read-lock hold.
 
         All pairs are validated up front; the batch is all-or-nothing
         with respect to validation.  Every answer in the returned list
-        reflects the same index state (no write interleaves mid-batch).
+        is a stored tuple (see :meth:`query`) reflecting the same index
+        state (no write interleaves mid-batch).
         """
         for k, p in pairs:
             self._validate(k, p)
         obs = get_collector()
         if obs is not None:
             obs.observe(metric.SERVER_BATCH_SIZE, len(pairs))
+            obs.inc(metric.SERVER_QUERIES, len(pairs))
+        with self._queries_mutex:
+            self._queries += len(pairs)
         with maybe_trace_span(
             metric.TRACE_SERVER_QUERY_MANY, pairs=len(pairs)
         ):
@@ -480,7 +575,7 @@ class KPCoreServer:
                 tracer = get_tracer()
                 if tracer is None:
                     return [self._answer_locked(k, p) for k, p in pairs]
-                answers: list[list[Vertex]] = []
+                answers: list[Sequence[Vertex]] = []
                 for k, p in pairs:
                     with tracer.span(
                         metric.TRACE_SERVER_QUERY_ONE, k=k, p=p
@@ -493,39 +588,42 @@ class KPCoreServer:
         k: int,
         p: float,
         span: TraceSpan | NullTraceSpan = NULL_TRACE_SPAN,
-    ) -> list[Vertex]:
-        obs = get_collector()
-        if obs is not None:
-            obs.inc(metric.SERVER_QUERIES)
-        with self._queries_mutex:
-            self._queries += 1
+    ) -> Sequence[Vertex]:
+        # The served-queries counter and obs bump happen once per entry
+        # point (query / query_many batch), not here: a mutex hold per
+        # answer on the batched read path cost more than a cache hit.
+        traced = span is not NULL_TRACE_SPAN
         cache = self._cache
         if cache is None:
             answer = self._answer_built(k, p)
+            if traced:
+                span.set("cache_hit", False)
+                span.set("answer_size", len(answer))
+            return answer
+        version, level = self._index.answer_key(k, p)
+        cached = cache.get(k, level, version)
+        if cached is not None:
+            if traced:
+                span.set("version", version)
+                span.set("cache_hit", True)
+                span.set("answer_size", len(cached))
+            return cached
+        answer = self._answer_built(k, p)
+        cache.put(k, level, version, answer)
+        if traced:
+            span.set("version", version)
             span.set("cache_hit", False)
             span.set("answer_size", len(answer))
-            return answer
-        version = self.index.version(k)
-        cached = cache.get(k, p, version)
-        span.set("version", version)
-        if cached is not None:
-            span.set("cache_hit", True)
-            span.set("answer_size", len(cached))
-            return list(cached)
-        answer = self._answer_built(k, p)
-        cache.put(k, p, version, tuple(answer))
-        span.set("cache_hit", False)
-        span.set("answer_size", len(answer))
         return answer
 
-    def _answer_built(self, k: int, p: float) -> list[Vertex]:
-        """Run Algorithm 3 for a miss, under a ``trace.query.answer``
-        span when tracing is on."""
+    def _answer_built(self, k: int, p: float) -> tuple[Vertex, ...]:
+        """Fetch the stored answer slice for a miss, under a
+        ``trace.query.answer`` span when tracing is on."""
         tracer = get_tracer()
         if tracer is None:
-            return self._durable.query(k, p)
+            return self._durable.query_slice(k, p)
         with tracer.span(metric.TRACE_QUERY_ANSWER, k=k, p=p) as span:
-            answer = self._durable.query(k, p)
+            answer = self._durable.query_slice(k, p)
             span.set("answer_size", len(answer))
             return answer
 

@@ -9,13 +9,22 @@ A workload is a seeded, reproducible interleaving of three op kinds::
 The generator simulates the edge set as it goes, so every emitted insert
 targets an absent pair and every delete targets a present edge — applied
 in order by a single writer, no generated update can fail.  Queries draw
-``k`` uniformly from ``[1, k_max]`` and ``p`` from the finite grid
-``{0, 1/p_levels, ..., 1}``; the finite grid is deliberate: repeated
-``(k, p)`` pairs are what exercise (and measure) the result cache.
+``(k, p)`` from the finite grid ``[1, k_max] x {0, 1/p_levels, ..., 1}``;
+the finite grid is deliberate: repeated ``(k, p)`` pairs are what
+exercise (and measure) the result cache.
+
+``skew`` controls query *locality*.  ``skew=0`` (the default) draws
+uniformly.  ``skew=s > 0`` draws Zipf-like: the grid cells are ranked
+in a seed-determined shuffle and cell at rank ``r`` carries weight
+``1 / r**s`` — real traffic concentrates on few hot keys, and a uniform
+spec structurally cannot reward any cache.  Query parameter draws use a
+dedicated RNG stream, so two specs differing only in ``skew`` generate
+byte-identical update streams for a seed: uniform-vs-zipf rows compare
+query locality on the same graph history.
 
 Spec strings are comma-separated ``key=value`` pairs, e.g.::
 
-    ops=400,query=8,insert=1,delete=1,vertices=60,kmax=6,plevels=10,prefill=80
+    ops=400,query=8,insert=1,delete=1,vertices=60,kmax=6,plevels=10,prefill=80,skew=1.2
 
 Omitted keys keep their defaults (see :class:`WorkloadSpec`); the empty
 string is the default workload.  ``query``/``insert``/``delete`` are
@@ -28,6 +37,7 @@ from __future__ import annotations
 import hashlib
 import random
 from dataclasses import dataclass, fields
+from itertools import accumulate
 from typing import Iterator, Sequence
 
 from repro.errors import ParameterError
@@ -59,8 +69,11 @@ class WorkloadSpec:
     kmax: int = 6
     plevels: int = 10
     prefill: int = 80
+    skew: float = 0.0
 
     def __post_init__(self) -> None:
+        if self.skew < 0:
+            raise ParameterError(f"skew must be >= 0, got {self.skew}")
         if self.ops < 0 or self.prefill < 0:
             raise ParameterError("ops and prefill must be >= 0")
         if self.vertices < 2:
@@ -151,6 +164,45 @@ class _EdgeMirror:
         return edge
 
 
+class _QuerySampler:
+    """Seeded ``(k, p)`` draws: uniform at ``skew=0``, Zipf otherwise.
+
+    For ``skew=s > 0`` the ``kmax * (plevels + 1)`` grid cells are
+    ranked by a seed-determined shuffle and the cell at rank ``r``
+    (1-based) carries weight ``1 / r**s`` — the standard Zipf popularity
+    law over an arbitrary key ordering.  The shuffle makes the hot set
+    a function of the seed rather than always favouring small ``k``.
+    """
+
+    def __init__(self, spec: WorkloadSpec, qrng: random.Random) -> None:
+        self._spec = spec
+        self._qrng = qrng
+        if spec.skew == 0:
+            self._cells: list[tuple[int, float]] | None = None
+            self._cum: list[float] | None = None
+            return
+        cells = [
+            (k, level / spec.plevels)
+            for k in range(1, spec.kmax + 1)
+            for level in range(spec.plevels + 1)
+        ]
+        qrng.shuffle(cells)
+        self._cells = cells
+        self._cum = list(
+            accumulate(
+                1.0 / rank**spec.skew for rank in range(1, len(cells) + 1)
+            )
+        )
+
+    def draw(self) -> tuple[int, float]:
+        if self._cells is None:
+            spec = self._spec
+            k = self._qrng.randint(1, spec.kmax)
+            p = self._qrng.randint(0, spec.plevels) / spec.plevels
+            return k, p
+        return self._qrng.choices(self._cells, cum_weights=self._cum)[0]
+
+
 def _random_absent_pair(
     rng: random.Random, mirror: _EdgeMirror, n: int
 ) -> tuple[int, int] | None:
@@ -174,6 +226,10 @@ def generate_workload(
     if isinstance(spec, str):
         spec = WorkloadSpec.parse(spec)
     rng = random.Random(seed)
+    # Query parameters come from their own stream so specs differing
+    # only in skew emit byte-identical update sequences for a seed.
+    qrng = random.Random(f"{seed}:query")
+    sampler = _QuerySampler(spec, qrng)
     mirror = _EdgeMirror()
     ops: list[WorkloadOp] = []
 
@@ -200,8 +256,7 @@ def generate_workload(
     for _ in range(spec.ops):
         kind = rng.choices(kinds, weights=weights)[0]
         if kind == "query":
-            k = rng.randint(1, spec.kmax)
-            p = rng.randint(0, spec.plevels) / spec.plevels
+            k, p = sampler.draw()
             ops.append(("query", k, p))
         elif kind == "insert":
             # A complete graph degrades inserts to deletes (and an empty

@@ -110,6 +110,69 @@ class TestIndexQueries:
             index.p_number(5, 9)
 
 
+class TestAnswerSlices:
+    def test_query_slice_matches_query(self):
+        g = erdos_renyi_gnm(25, 75, seed=3)
+        index = KPIndex.build(g)
+        for k in (1, 2, 3):
+            for p in (0.0, 0.3, 0.5, 0.8, 1.0):
+                assert list(index.query_slice(k, p)) == index.query(k, p)
+
+    def test_slice_is_memoized_per_level(self):
+        array = KArray(k=2, vertices=[1, 2, 3, 4], p_numbers=[0.5, 0.5, 0.75, 1.0])
+        first = array.query_slice(0.6)
+        assert first == (3, 4)
+        assert array.query_slice(0.75) is first
+        assert array.slice_at(array.level_index(0.7)) is first
+
+    def test_mutation_resets_slices(self):
+        array = KArray(
+            k=2, vertices=[1, 2, 3, 4, 5], p_numbers=[0.2, 0.4, 0.5, 0.7, 0.9]
+        )
+        before = array.query_slice(0.5)
+        array.replace_segment(
+            keep_below=0.4,
+            segment_vertices=[3, 2],
+            segment_p_numbers=[0.45, 0.6],
+            tail_from=[4, 5],
+        )
+        after = array.query_slice(0.5)
+        assert after is not before
+        assert after == (2, 4, 5)
+
+    def test_above_max_level_is_empty_tuple(self):
+        array = KArray(k=2, vertices=[1], p_numbers=[0.5])
+        assert array.query_slice(0.9) == ()
+        assert array.level_index(0.9) == len(array.level_values)
+
+    def test_level_index_canonicalizes_float_spellings(self):
+        array = KArray(k=2, vertices=[1, 2, 3], p_numbers=[0.25, 0.5, 1.0])
+        # Both spellings sit in the same inter-level gap (0.25, 0.5].
+        assert array.level_index(0.3) == array.level_index(0.1 + 0.2)
+        # A p-number strictly between two spellings separates them.
+        assert array.level_index(0.25) != array.level_index(0.3)
+
+    def test_answer_key_pairs_version_and_level(self, triangle):
+        index = KPIndex.build(triangle)
+        version, level = index.answer_key(1, 0.5)
+        assert version == index.version(1)
+        assert level == index.level_index(1, 0.5)
+
+    def test_answer_key_memo_invalidates_on_version_bump(self, triangle):
+        index = KPIndex.build(triangle)
+        first = index.answer_key(1, 0.5)
+        assert index.answer_key(1, 0.5) is first  # memoized pair
+        index.bump_version(1)
+        second = index.answer_key(1, 0.5)
+        assert second != first
+        assert second[0] == index.version(1)
+
+    def test_answer_key_for_absent_k(self, triangle):
+        index = KPIndex.build(triangle)
+        assert index.answer_key(99, 0.5) == (0, 0)
+        assert index.query_slice(99, 0.5) == ()
+
+
 class TestVersions:
     def test_fresh_index_starts_at_zero(self, triangle):
         index = KPIndex.build(triangle)

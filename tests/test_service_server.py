@@ -32,6 +32,8 @@ from repro.bench.serving import (
     run_differential_probes,
     run_serve_bench,
 )
+from repro.obs import names
+from repro.obs.trace import tracing
 from repro.service import (
     DurableMaintainer,
     KPCoreServer,
@@ -44,12 +46,20 @@ from repro.service import (
 
 
 def make_server(
-    directory: str, cache: bool = True, cache_size: int = 4096
+    directory: str,
+    cache: bool = True,
+    cache_size: int = 4096,
+    min_answer_size: int = 0,
 ) -> KPCoreServer:
     durable = DurableMaintainer(
         os.path.join(directory, "state"), checkpoint_every=10_000
     )
-    return KPCoreServer(durable, cache_size=cache_size, cache_enabled=cache)
+    return KPCoreServer(
+        durable,
+        cache_size=cache_size,
+        cache_enabled=cache,
+        min_answer_size=min_answer_size,
+    )
 
 
 # ----------------------------------------------------------------------
@@ -104,6 +114,62 @@ class TestWorkload:
         queries, updates = split_workload(ops)
         assert len(queries) + len(updates) == len(ops)
         assert [op for op in ops if op[0] != "query"] == updates
+
+    def test_skew_parses_and_round_trips(self):
+        spec = WorkloadSpec.parse("ops=10,skew=1.2")
+        assert spec.skew == 1.2
+        assert WorkloadSpec.parse(spec.to_string()) == spec
+        assert WorkloadSpec().skew == 0.0
+        with pytest.raises(ParameterError):
+            WorkloadSpec.parse("skew=-0.5")
+
+    def test_skew_changes_fingerprint(self):
+        assert (
+            WorkloadSpec.parse("skew=1.2").fingerprint()
+            != WorkloadSpec().fingerprint()
+        )
+
+    def test_zipf_deterministic_per_seed(self):
+        spec = "ops=120,vertices=12,prefill=15,skew=1.5"
+        assert generate_workload(spec, 3) == generate_workload(spec, 3)
+        assert generate_workload(spec, 3) != generate_workload(spec, 4)
+
+    def test_zipf_leaves_update_stream_unchanged(self):
+        """Query draws use a dedicated RNG: specs differing only in skew
+        emit byte-identical insert/delete sequences for a seed."""
+        base = "ops=200,vertices=15,prefill=25"
+        for seed in (0, 1, 7):
+            uniform = generate_workload(base, seed)
+            zipf = generate_workload(base + ",skew=1.5", seed)
+            strip = lambda ops: [op for op in ops if op[0] != "query"]
+            assert strip(uniform) == strip(zipf)
+            assert [op[0] for op in uniform] == [op[0] for op in zipf]
+
+    def test_zipf_concentrates_queries(self):
+        """Skewed draws pile onto few hot cells; uniform draws do not."""
+        from collections import Counter
+
+        base = "ops=2000,query=8,insert=1,delete=1,vertices=20,kmax=6,plevels=10,prefill=30"
+
+        def top3_share(spec: str) -> float:
+            queries = [
+                (op[1], op[2])
+                for op in generate_workload(spec, 13)
+                if op[0] == "query"
+            ]
+            counts = Counter(queries)
+            return sum(n for _, n in counts.most_common(3)) / len(queries)
+
+        assert top3_share(base + ",skew=1.5") > 0.40
+        assert top3_share(base) < 0.20
+
+    def test_zipf_draws_stay_on_grid(self):
+        spec = WorkloadSpec.parse("ops=300,kmax=4,plevels=5,skew=2.0")
+        grid = {level / 5 for level in range(6)}
+        for op in generate_workload(spec, 2):
+            if op[0] == "query":
+                assert 1 <= op[1] <= 4
+                assert op[2] in grid
 
 
 # ----------------------------------------------------------------------
@@ -171,9 +237,9 @@ class TestRWLock:
 class TestQueryCache:
     def test_hit_requires_exact_version(self):
         cache = QueryCache(capacity=8)
-        cache.put(2, 0.5, 1, (1, 2, 3))
-        assert cache.get(2, 0.5, 1) == (1, 2, 3)
-        assert cache.get(2, 0.5, 2) is None  # version moved -> miss+drop
+        cache.put(2, 0, 1, (1, 2, 3))
+        assert cache.get(2, 0, 1) == (1, 2, 3)
+        assert cache.get(2, 0, 2) is None  # version moved -> miss+drop
         stats = cache.stats()
         assert stats.hits == 1 and stats.misses == 1
         assert stats.invalidations == 1
@@ -181,25 +247,54 @@ class TestQueryCache:
 
     def test_purge_k_drops_only_that_k(self):
         cache = QueryCache(capacity=8)
-        cache.put(2, 0.5, 1, (1,))
-        cache.put(2, 1.0, 1, ())
-        cache.put(3, 0.5, 4, (9,))
+        cache.put(2, 0, 1, (1,))
+        cache.put(2, 3, 1, ())
+        cache.put(3, 0, 4, (9,))
         assert cache.purge_k(2) == 2
-        assert cache.contents() == {(3, 0.5): 4}
+        assert cache.contents() == {(3, 0): 4}
         assert cache.purge_k(2) == 0
 
     def test_lru_eviction(self):
         cache = QueryCache(capacity=2)
-        cache.put(1, 0.0, 0, (1,))
-        cache.put(2, 0.0, 0, (2,))
-        assert cache.get(1, 0.0, 0) is not None  # 1 is now most recent
-        cache.put(3, 0.0, 0, (3,))  # evicts (2, 0.0)
-        assert set(cache.contents()) == {(1, 0.0), (3, 0.0)}
+        cache.put(1, 0, 0, (1,))
+        cache.put(2, 0, 0, (2,))
+        assert cache.get(1, 0, 0) is not None  # 1 is now most recent
+        cache.put(3, 0, 0, (3,))  # evicts (2, 0)
+        assert set(cache.contents()) == {(1, 0), (3, 0)}
         assert cache.stats().evictions == 1
 
     def test_capacity_validated(self):
         with pytest.raises(ParameterError):
             QueryCache(capacity=0)
+        with pytest.raises(ParameterError):
+            QueryCache(capacity=4, min_answer_size=-1)
+
+    def test_admission_threshold_rejects_small_answers(self):
+        cache = QueryCache(capacity=8, min_answer_size=2)
+        cache.put(2, 0, 1, (7,))  # below threshold: refused
+        assert cache.contents() == {}
+        assert cache.get(2, 0, 1) is None
+        stats = cache.stats()
+        assert stats.admission_rejects == 1
+        cache.put(2, 0, 1, (7, 8))  # at threshold: admitted
+        assert cache.get(2, 0, 1) == (7, 8)
+        assert cache.stats().admission_rejects == 1
+
+    def test_small_answers_never_evict_large_ones(self):
+        cache = QueryCache(capacity=2, min_answer_size=3)
+        cache.put(1, 0, 0, (1, 2, 3))
+        cache.put(2, 0, 0, (4, 5, 6, 7))
+        for level in range(20):  # a storm of tiny answers
+            cache.put(3, level, 0, (9,))
+        assert set(cache.contents()) == {(1, 0), (2, 0)}
+        assert cache.stats().evictions == 0
+        assert cache.stats().admission_rejects == 20
+
+    def test_zero_threshold_restores_admit_everything(self):
+        cache = QueryCache(capacity=4, min_answer_size=0)
+        cache.put(2, 0, 1, ())  # even the empty answer is admitted
+        assert cache.get(2, 0, 1) == ()
+        assert cache.stats().admission_rejects == 0
 
 
 # ----------------------------------------------------------------------
@@ -238,11 +333,34 @@ class TestServerBasics:
             stats = server.cache_stats()
             assert stats.hits == 1 and stats.misses == 1
 
-    def test_cached_answer_is_a_copy(self, tmp_path):
+    def test_answers_are_immutable_stored_tuples(self, tmp_path):
+        """query() returns the index's stored tuple: immutable (so no
+        caller can poison the cache) and shared across hit and miss."""
         with make_server(str(tmp_path)) as server:
             server.apply([("insert", 0, 1), ("insert", 1, 2), ("insert", 2, 0)])
-            server.query(2, 0.5).append("junk")
-            assert "junk" not in server.query(2, 0.5)
+            first = server.query(2, 0.5)
+            assert isinstance(first, tuple)
+            with pytest.raises((AttributeError, TypeError)):
+                first.append("junk")  # type: ignore[attr-defined]
+            assert server.query(2, 0.5) is first  # the cached reference
+
+    def test_float_spellings_of_one_level_share_one_entry(self, tmp_path):
+        """Regression: keys are level indices, not raw floats — ``0.3``
+        and the arithmetic spelling ``0.30000000000000004`` used to be
+        two entries and silently halve the hit rate."""
+        with make_server(str(tmp_path)) as server:
+            server.apply([("insert", 0, 1), ("insert", 1, 2), ("insert", 2, 0)])
+            p_exact = 0.3
+            p_drifted = 0.1 + 0.2  # 0.30000000000000004
+            # The premise of the regression: the two spellings really
+            # are distinct doubles (that is the bug being pinned).
+            assert p_exact != p_drifted  # noqa: KP002 distinctness is the premise
+            first = server.query(2, p_exact)
+            second = server.query(2, p_drifted)
+            assert second is first  # served from the same entry
+            stats = server.cache_stats()
+            assert stats.hits == 1 and stats.misses == 1
+            assert len(server.cache_contents()) == 1
 
     def test_cache_disabled_serves_correctly(self, tmp_path):
         with make_server(str(tmp_path), cache=False) as server:
@@ -276,7 +394,7 @@ class TestServerBasics:
             # have new core number 1, so Theorem 2 skips A_2 entirely.
             server.insert_edge(10, 11)
             assert server.index.version(2) == before
-            assert (2, 0.5) in server.cache_contents()
+            assert any(k == 2 for k, _ in server.cache_contents())
             stats = server.cache_stats()
             server.query(2, 0.5)
             assert server.cache_stats().hits == stats.hits + 1
@@ -384,6 +502,122 @@ class TestNoStaleCache:
 
 
 # ----------------------------------------------------------------------
+# server-level cache admission
+# ----------------------------------------------------------------------
+class TestServerAdmission:
+    def test_small_answers_served_but_not_cached(self, tmp_path):
+        with make_server(str(tmp_path), min_answer_size=3) as server:
+            server.apply(
+                [("insert", 0, 1), ("insert", 1, 2), ("insert", 2, 0),
+                 ("insert", 2, 3)]
+            )
+            # k=3 answer is empty (< threshold): correct but never cached
+            assert server.query(3, 0.5) == ()
+            assert server.query(3, 0.5) == ()
+            stats = server.cache_stats()
+            assert stats.hits == 0 and stats.admission_rejects >= 1
+            # the triangle answer (3 vertices) clears the threshold
+            big = server.query(2, 0.5)
+            assert len(big) == 3
+            assert server.query(2, 0.5) is big
+            assert server.cache_stats().hits == 1
+
+    def test_default_threshold_is_zero(self, tmp_path):
+        """min_answer_size=0 (the default) restores admit-everything."""
+        with make_server(str(tmp_path)) as server:
+            server.apply([("insert", 0, 1)])
+            assert server.query(5, 1.0) == ()  # empty, still admitted
+            server.query(5, 1.0)
+            stats = server.cache_stats()
+            assert stats.hits == 1 and stats.admission_rejects == 0
+
+
+# ----------------------------------------------------------------------
+# hypothesis: (k, level) keying never serves a wrong-level answer
+# ----------------------------------------------------------------------
+LEVEL_EDGES = [(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 5), (5, 3), (0, 5)]
+
+query_streams = st.lists(
+    st.tuples(
+        st.integers(1, 4),
+        st.floats(0.0, 1.0, allow_nan=False, allow_infinity=False),
+    ),
+    min_size=1,
+    max_size=40,
+)
+
+
+class TestLevelKeyedCacheSoundness:
+    @settings(max_examples=25, deadline=None)
+    @given(queries=query_streams)
+    def test_level_keying_never_serves_wrong_level(self, queries):
+        """Any float stream — grid points, drifted spellings, arbitrary
+        reals — must get the exact naive answer even when distinct p's
+        collapse onto one cache entry."""
+        mirror = Graph(LEVEL_EDGES)
+        with tempfile.TemporaryDirectory(prefix="repro-level-") as tmp:
+            with make_server(tmp) as server:
+                server.apply([("insert", u, v) for u, v in LEVEL_EDGES])
+                for k, p in queries:
+                    assert set(server.query(k, p)) == (
+                        naive_kp_core_vertices(mirror, k, p)
+                    ), (k, p)
+
+
+# ----------------------------------------------------------------------
+# lock-hold tail: the first-miss rebuild must not happen under the lock
+# ----------------------------------------------------------------------
+class TestLockHoldBounds:
+    def test_query_lock_hold_bounded_by_answer_size(self, tmp_path):
+        """No query's read-lock hold may exceed a bound proportional to
+        its answer size — the old cache-hit path rebuilt a list (and the
+        miss path peeled the whole level suffix) under the lock, which
+        was the entire p99 == max tail in the committed baseline."""
+        spec = "ops=150,query=8,insert=1,delete=1,vertices=30,kmax=4,prefill=60"
+        with make_server(str(tmp_path)) as server:
+            with tracing() as tracer:
+                for op in generate_workload(spec, seed=4):
+                    if op[0] == "query":
+                        server.query(op[1], op[2])
+                    elif op[0] == "insert":
+                        server.insert_edge(op[1], op[2])
+                    else:
+                        server.delete_edge(op[1], op[2])
+                events = tracer.events()
+        query_spans = {
+            e.span_id: e
+            for e in events
+            if e.name == names.TRACE_SERVER_QUERY
+        }
+        holds = [
+            e
+            for e in events
+            if e.name == names.TRACE_LOCK_READ_HOLD
+            and e.parent_id in query_spans
+        ]
+        assert holds
+        for hold in holds:
+            size = int(query_spans[hold.parent_id].attrs["answer_size"])
+            # Generous constant slack for interpreter noise; the 1e-4
+            # s/vertex term is the only allowed size dependence.
+            assert hold.dur <= 0.05 + 1e-4 * size, (hold.dur, size)
+        # Structural half: a cache hit never runs the answer build.
+        build_parents = {
+            e.parent_id
+            for e in events
+            if e.name == names.TRACE_QUERY_ANSWER
+        }
+        hold_by_query = {h.parent_id: h for h in holds}
+        hits = [
+            e for e in query_spans.values() if e.attrs.get("cache_hit")
+        ]
+        assert hits
+        for span in hits:
+            hold = hold_by_query[span.span_id]
+            assert hold.span_id not in build_parents
+
+
+# ----------------------------------------------------------------------
 # concurrency stress: readers vs one journaled writer
 # ----------------------------------------------------------------------
 class TestConcurrencyStress:
@@ -478,9 +712,14 @@ class TestServeBenchDriver:
         )
         assert result["queries"] > 0 and result["updates"] > 0
         assert result["elapsed_s"] >= 0
+        assert result["query_wall_s"] > 0 and result["update_wall_s"] >= 0
+        assert result["query_qps"] > 0 and result["ops_per_s"] > 0
+        assert "min_answer_size" in result
+        assert "qps" not in result  # replaced by query_qps / ops_per_s
         assert set(result["latency_ms"]) == {"p50", "p95", "p99", "max"}
         if cache:
             assert result["cache_stats"]["hits"] > 0
+            assert "admission_rejects" in result["cache_stats"]
         else:
             assert result["cache_stats"]["hits"] == 0
 
