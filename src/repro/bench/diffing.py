@@ -56,6 +56,7 @@ _IDENTITY_KEYS = (
     "workload_fingerprint",
     "seed",
     "threads",
+    "batch",
     "cache",
     "cache_size",
     "min_answer_size",

@@ -172,8 +172,14 @@ def run_serve_bench(
         t0 = time.perf_counter()
         start.set()
         update_t0 = time.perf_counter()
-        for i in range(0, len(updates), update_batch):
-            server.apply(updates[i : i + update_batch])
+        if spec.batch > 1:
+            # Batched write path: each group journals as one record and
+            # re-peels each affected array at most once (apply_batch).
+            for i in range(0, len(updates), spec.batch):
+                server.apply_batch(updates[i : i + spec.batch])
+        else:
+            for i in range(0, len(updates), update_batch):
+                server.apply(updates[i : i + update_batch])
         update_wall = time.perf_counter() - update_t0
         for worker in workers:
             worker.join()
@@ -209,6 +215,7 @@ def run_serve_bench(
         "workload_fingerprint": spec.fingerprint(),
         "seed": seed,
         "threads": threads,
+        "batch": spec.batch,
         "cache": cache,
         "cache_size": cache_size if cache else 0,
         "min_answer_size": min_answer_size if cache else 0,
@@ -271,6 +278,7 @@ def run_differential_probes(
     probes = 0
     stale = 0
     seen_queries = 0
+    pending: list[tuple[str, int, int]] = []
     with tempfile.TemporaryDirectory(prefix="repro-serve-") as tmp:
         durable = DurableMaintainer(
             os.path.join(tmp, "state"), checkpoint_every=10_000
@@ -281,8 +289,25 @@ def run_differential_probes(
             cache_enabled=cache,
             min_answer_size=min_answer_size,
         ) as server:
+
+            def flush() -> None:
+                # Batched audit mode (spec.batch > 1): updates accumulate
+                # and go through apply_batch; the mirror applies the same
+                # group at the same point, so every probed answer is
+                # checked against a mirror at the same write boundary.
+                if not pending:
+                    return
+                server.apply_batch(pending)
+                for kind, a, b in pending:
+                    if kind == "insert":
+                        mirror.add_edge(a, b)
+                    else:
+                        mirror.remove_edge(a, b)
+                pending.clear()
+
             for op in ops:
                 if op[0] == "query":
+                    flush()
                     _, k, p = op
                     answer = set(server.query(k, p))
                     seen_queries += 1
@@ -290,12 +315,17 @@ def run_differential_probes(
                         probes += 1
                         if answer != naive_kp_core_vertices(mirror, k, p):
                             stale += 1
+                elif spec.batch > 1:
+                    pending.append((op[0], op[1], op[2]))
+                    if len(pending) >= spec.batch:
+                        flush()
                 elif op[0] == "insert":
                     server.insert_edge(op[1], op[2])
                     mirror.add_edge(op[1], op[2])
                 else:
                     server.delete_edge(op[1], op[2])
                     mirror.remove_edge(op[1], op[2])
+            flush()
             stats = server.cache_stats()
     return {
         "spec": spec.to_string(),

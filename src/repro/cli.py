@@ -191,11 +191,17 @@ def _cmd_index_recover(args: argparse.Namespace) -> int:
 
 
 def _cmd_index_serve_bench(args: argparse.Namespace) -> int:
-    from repro.bench.serving import run_differential_probes, run_serve_bench
+    import dataclasses
 
+    from repro.bench.serving import run_differential_probes, run_serve_bench
+    from repro.service.workload import WorkloadSpec
+
+    spec = WorkloadSpec.parse(args.workload)
+    if args.batch_size:
+        spec = dataclasses.replace(spec, batch=args.batch_size)
     result = run_serve_bench(
         args.dir,
-        spec=args.workload,
+        spec=spec,
         seed=args.seed,
         threads=args.threads,
         cache=not args.no_cache,
@@ -205,7 +211,7 @@ def _cmd_index_serve_bench(args: argparse.Namespace) -> int:
     latency = result["latency_ms"]
     cache_stats = result["cache_stats"]
     print(f"workload: {result['spec']} (seed {result['seed']})")
-    print(f"threads {result['threads']}  cache "
+    print(f"threads {result['threads']}  batch {result['batch']}  cache "
           f"{'on' if result['cache'] else 'off'}  "
           f"queries {result['queries']}  updates {result['updates']}")
     print(f"elapsed {result['elapsed_s']}s  throughput "
@@ -220,7 +226,7 @@ def _cmd_index_serve_bench(args: argparse.Namespace) -> int:
           f"hit_rate={cache_stats['hit_rate']}")
     if args.probe_every:
         probe = run_differential_probes(
-            spec=args.workload,
+            spec=spec,
             seed=args.seed,
             cache=not args.no_cache,
             cache_size=args.cache_size,
@@ -541,6 +547,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--min-answer-size", type=int, default=0, metavar="N",
         help="cache admission threshold: answers smaller than N vertices "
         "are served but never cached (default: %(default)s)",
+    )
+    p_serve.add_argument(
+        "--batch-size", type=int, default=0, metavar="B",
+        help="apply updates through apply_batch in coalesced groups of B "
+        "(one re-peel per affected array per group); overrides the "
+        "workload spec's batch key (0 = use the spec's value)",
     )
     p_serve.add_argument(
         "--probe-every", type=int, default=0, metavar="N",

@@ -23,6 +23,17 @@ Two modes support the ablation benchmark: ``RANGE`` (the full machinery
 above, the paper's algorithm) and ``FULL_K`` (skip rules only; every
 affected ``A_k`` is re-peeled in full).  Both are property-tested for exact
 agreement with from-scratch decomposition.
+
+:meth:`KPIndexMaintainer.apply_batch` amortizes a *burst* of updates: the
+batch is coalesced (insert+delete pairs of one edge cancel), the per-edge
+windows above are unioned per affected ``A_k``, and each array re-peels
+exactly **once** per batch — membership-stable arrays through the unioned
+``[p_-, p_+]`` window, membership-churned arrays through one shared
+:class:`~repro.graph.compact.CompactAdjacency` snapshot and the Algorithm 2
+peel engines (optionally fanned across the ``repro.core.parallel`` worker
+pool).  Version counters consequently bump once per touched array per
+batch, which is what lets the serving cache invalidate once instead of
+once per edge (see docs/algorithms.md, "Batched maintenance").
 """
 
 from __future__ import annotations
@@ -32,28 +43,46 @@ from collections import deque
 from dataclasses import dataclass, field
 from bisect import bisect_left
 from heapq import heappush, heappop, heapify
-from typing import TYPE_CHECKING, Callable, Iterable
+from typing import TYPE_CHECKING, Callable, Iterable, Sequence
 
 from repro.devtools.contracts import (
+    verify_batch_state,
     verify_maintainer_query,
     verify_maintainer_update,
 )
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations
     from repro.kcore.order_maintenance import OrderBasedCoreMaintainer
-from repro.errors import EdgeNotFoundError, IndexStateError, ParameterError
+from repro.errors import (
+    EdgeExistsError,
+    EdgeNotFoundError,
+    IndexStateError,
+    ParameterError,
+    SelfLoopError,
+)
 from repro.graph.adjacency import Graph, Vertex
+from repro.graph.compact import CompactAdjacency
 from repro.kcore.maintenance import CoreMaintainer
 from repro.obs import names as metric
 from repro.obs.instrumentation import Instrumentation, get_collector, maybe_span
 from repro.core.bounds import (
     BoundsCache,
+    degree_in,
     deletion_pair_bound,
     insertion_support_bound,
 )
 from repro.core.index import KArray, KPIndex
+from repro.core.parallel import peel_all_k
+from repro.core.peel_engines import DEFAULT_ENGINE, get_engine, make_scratch
+from repro.core.pvalue import fraction_value
 
-__all__ = ["MaintenanceMode", "MaintenanceStats", "KPIndexMaintainer"]
+__all__ = [
+    "MaintenanceMode",
+    "MaintenanceStats",
+    "BatchReport",
+    "coalesce_updates",
+    "KPIndexMaintainer",
+]
 
 
 class MaintenanceMode(enum.Enum):
@@ -78,9 +107,100 @@ class MaintenanceStats:
     vertices_repeeled: int = 0
     early_stops: int = 0
     fallback_rebuilds: int = 0
+    batches: int = 0
+    batch_cancelled_pairs: int = 0
 
     def snapshot(self) -> dict[str, int]:
         return dict(self.__dict__)
+
+
+@dataclass(frozen=True)
+class BatchReport:
+    """What one :meth:`KPIndexMaintainer.apply_batch` call did.
+
+    ``windowed_repeels``/``full_repeels`` report the batch planner's
+    classification and are both 0 for a coalesced batch of one update,
+    which delegates to the single-edge algorithms verbatim.
+    """
+
+    applied: int
+    cancelled_pairs: int
+    arrays_repeeled: int
+    windowed_repeels: int = 0
+    full_repeels: int = 0
+
+
+@dataclass
+class _KTouch:
+    """Per-``A_k`` accumulator over one coalesced batch."""
+
+    #: Every batch-edge endpoint whose op registered at this k — exactly
+    #: the vertices whose degree may differ between the pre- and
+    #: post-batch graph while sitting in (either version of) the k-core.
+    endpoints: set[Vertex] = field(default_factory=set)
+    #: Net membership churn of the k-core across the batch.
+    joined: set[Vertex] = field(default_factory=set)
+    left: set[Vertex] = field(default_factory=set)
+    #: True as soon as *any* promote/demote event fired at this k, even if
+    #: a later opposite event cancelled it: a mid-batch membership dip
+    #: breaks the endpoint-registration invariant the windowed path relies
+    #: on (an op only registers at k when an endpoint's core number is
+    #: >= k *at that moment*), so such an array re-peels in full.
+    membership_changed: bool = False
+
+
+def coalesce_updates(
+    graph: Graph, updates: Iterable[tuple[str, Vertex, Vertex]]
+) -> tuple[list[tuple[str, Vertex, Vertex]], int]:
+    """Validate a mixed batch and reduce it to net per-edge operations.
+
+    Each edge keeps at most one net op: an insert+delete pair on the same
+    edge (in either order) cancels outright, and the whole op sequence is
+    validated against the *simulated* edge presence before anything
+    mutates — a self-loop, a double insert, or a delete of an absent edge
+    raises with no state change, which is what makes
+    :meth:`KPIndexMaintainer.apply_batch` all-or-nothing in memory.
+    Returns the net ops in first-touch order (first-seen endpoint
+    orientation) plus the number of cancelled insert+delete pairs.
+    """
+    initial: dict[frozenset[Vertex], bool] = {}
+    current: dict[frozenset[Vertex], bool] = {}
+    orientation: dict[frozenset[Vertex], tuple[Vertex, Vertex]] = {}
+    op_counts: dict[frozenset[Vertex], int] = {}
+    order: list[frozenset[Vertex]] = []
+    for op, u, v in updates:
+        if op not in ("insert", "delete"):
+            raise ParameterError(
+                f"unknown update op {op!r} (expected 'insert' or 'delete')"
+            )
+        if u == v:
+            raise SelfLoopError(u)
+        edge = frozenset((u, v))
+        if edge not in current:
+            present = graph.has_edge(u, v)
+            initial[edge] = present
+            current[edge] = present
+            orientation[edge] = (u, v)
+            op_counts[edge] = 0
+            order.append(edge)
+        op_counts[edge] += 1
+        if op == "insert":
+            if current[edge]:
+                raise EdgeExistsError(u, v)
+            current[edge] = True
+        else:
+            if not current[edge]:
+                raise EdgeNotFoundError(u, v)
+            current[edge] = False
+    net: list[tuple[str, Vertex, Vertex]] = []
+    cancelled = 0
+    for edge in order:
+        u, v = orientation[edge]
+        surviving = 0 if current[edge] == initial[edge] else 1
+        cancelled += (op_counts[edge] - surviving) // 2
+        if surviving:
+            net.append(("insert" if current[edge] else "delete", u, v))
+    return net, cancelled
 
 
 @dataclass
@@ -136,6 +256,15 @@ class KPIndexMaintainer:
         #: applied — the journaling point of :mod:`repro.service`.  A hook
         #: that raises aborts the update before any state changes.
         self.update_hooks: list[Callable[[str, Vertex, Vertex], None]] = []
+        #: Batch write-ahead hooks: each callable receives the *coalesced*
+        #: net op list once per :meth:`apply_batch`, after validation and
+        #: before any mutation — the atomic-group journaling point of
+        #: :class:`repro.service.durable.DurableMaintainer`.  ``apply_batch``
+        #: deliberately does **not** fire the per-edge ``update_hooks``
+        #: (a batch must journal as one record, not be double-logged).
+        self.batch_hooks: list[
+            Callable[[Sequence[tuple[str, Vertex, Vertex]]], None]
+        ] = []
         self._cores: CoreMaintainer | OrderBasedCoreMaintainer
         if core_backend == "traversal":
             self._cores = CoreMaintainer(graph)
@@ -225,6 +354,309 @@ class KPIndexMaintainer:
             self.delete_edge(u, v)
         for u, v in insertions:
             self.insert_edge(u, v)
+
+    # ------------------------------------------------------------------
+    # batched maintenance: one re-peel per affected A_k
+    # ------------------------------------------------------------------
+    def apply_batch(
+        self,
+        updates: Iterable[tuple[str, Vertex, Vertex]],
+        *,
+        engine: str = DEFAULT_ENGINE,
+        workers: int = 1,
+    ) -> BatchReport:
+        """Apply a mixed batch of ``(op, u, v)`` updates, coalesced.
+
+        The batch is validated and coalesced first
+        (:func:`coalesce_updates`) — an invalid op sequence raises before
+        anything mutates, and insert+delete pairs of the same edge cancel
+        without touching the index at all.  Every surviving update is then
+        applied to the graph/core numbers, and each affected ``A_k``
+        re-peels exactly **once**:
+
+        * membership-stable arrays re-peel the *union* of the per-edge
+          Thm. 3-5/8/9 windows ``[p_-, p_+]`` (and are skipped outright
+          when the unioned support bound meets the unioned cap — the
+          batched form of Theorem 6);
+        * arrays whose k-core membership churned re-peel in full through
+          one shared :class:`CompactAdjacency` snapshot and the selected
+          Algorithm 2 peel ``engine`` (scratch reused across ks;
+          ``workers > 1`` fans these across the process pool).
+
+        Each touched array bumps its version once per batch, so serving
+        caches invalidate once instead of once per edge.  A coalesced
+        batch of exactly one update delegates to the single-edge
+        Algorithm 4/5 code path verbatim (same windows, same Theorem 6
+        skips, same version bumps).
+        """
+        if workers < 1:
+            raise ParameterError(f"workers must be >= 1, got {workers}")
+        get_engine(engine)  # validate the name before any mutation
+        ops, cancelled = coalesce_updates(self.graph, updates)
+        self.stats.batches += 1
+        self.stats.batch_cancelled_pairs += cancelled
+        obs = get_collector()
+        if obs is not None:
+            obs.inc(metric.MAINT_BATCH_BATCHES)
+            obs.add(metric.MAINT_BATCH_UPDATES, len(ops))
+            obs.add(metric.MAINT_BATCH_CANCELLED, cancelled)
+        if not ops:
+            return BatchReport(0, cancelled, 0)
+        for hook in self.batch_hooks:
+            hook(ops)
+        before_updated = self.stats.arrays_updated
+        if len(ops) == 1:
+            op, u, v = ops[0]
+            if op == "insert":
+                with maybe_span(metric.MAINT_SPAN_INSERT):
+                    self._insert_edge_impl(u, v)
+            else:
+                with maybe_span(metric.MAINT_SPAN_DELETE):
+                    self._delete_edge_impl(u, v)
+            verify_batch_state(self, (u, v))
+            return BatchReport(
+                1, cancelled, self.stats.arrays_updated - before_updated
+            )
+        with maybe_span(metric.MAINT_SPAN_BATCH):
+            windowed, full = self._apply_batch_impl(ops, engine, workers)
+        verify_batch_state(
+            self, tuple({w for _, u, v in ops for w in (u, v)})
+        )
+        return BatchReport(
+            applied=len(ops),
+            cancelled_pairs=cancelled,
+            arrays_repeeled=self.stats.arrays_updated - before_updated,
+            windowed_repeels=windowed,
+            full_repeels=full,
+        )
+
+    def _apply_batch_impl(
+        self,
+        ops: Sequence[tuple[str, Vertex, Vertex]],
+        engine: str,
+        workers: int,
+    ) -> tuple[int, int]:
+        """Apply coalesced ``ops``; returns (windowed, full) re-peel counts."""
+        obs = get_collector()
+        touched: dict[int, _KTouch] = {}
+
+        def touch(k: int) -> _KTouch:
+            t = touched.get(k)
+            if t is None:
+                t = _KTouch()
+                touched[k] = t
+            return t
+
+        for op, u, v in ops:
+            if op == "insert":
+                cn_old_u = self._cores.core_number_or(u)
+                cn_old_v = self._cores.core_number_or(v)
+                promoted = self._cores.insert_edge(u, v)
+                self.stats.insertions += 1
+                self.index.adjust_num_edges(+1)
+                low = min(cn_old_u, cn_old_v)
+                k_changed = low + 1 if promoted else None
+                movers = promoted
+                k_max = max(
+                    self._cores.core_number(u), self._cores.core_number(v)
+                )  # Theorem 2
+            else:
+                cn_old_u = self._cores.core_number(u)
+                cn_old_v = self._cores.core_number(v)
+                movers = self._cores.delete_edge(u, v)
+                self.stats.deletions += 1
+                self.index.adjust_num_edges(-1)
+                low = min(cn_old_u, cn_old_v)
+                k_changed = low if movers else None
+                k_max = max(cn_old_u, cn_old_v)  # Theorem 7
+            for k in range(2, k_max + 1):
+                touch(k).endpoints.update((u, v))
+            if k_changed is not None and k_changed >= 2:
+                t = touch(k_changed)
+                t.membership_changed = True
+                if op == "insert":
+                    for w in movers:
+                        if w in t.left:
+                            t.left.discard(w)
+                        else:
+                            t.joined.add(w)
+                else:
+                    for w in movers:
+                        if w in t.joined:
+                            t.joined.discard(w)
+                        else:
+                            t.left.add(w)
+
+        self._update_a1_after_batch(ops)
+
+        windowed_plans: list[tuple[KArray, float, float]] = []
+        full_ks: list[int] = []
+        for k in sorted(touched):
+            t = touched[k]
+            self.stats.arrays_examined += 1
+            if obs is not None:
+                obs.inc(metric.MAINT_ARRAYS_EXAMINED)
+            array = self._ensure_array(k)
+            if self.mode is MaintenanceMode.FULL_K or t.membership_changed:
+                full_ks.append(k)
+                continue
+            plan = self._batch_window(array, t)
+            if plan is None:
+                # Batched Theorem 6: the unioned window is empty, so the
+                # array provably cannot change — no re-peel, no bump.
+                self.stats.arrays_skipped_theorem6 += 1
+                if obs is not None:
+                    obs.inc(metric.MAINT_THM6_SKIPS)
+                continue
+            p_minus, p_plus = plan
+            if obs is not None:
+                obs.inc(metric.MAINT_BATCH_WINDOW_UNIONS)
+                self._record_window(obs, p_minus, p_plus)
+            windowed_plans.append((array, p_minus, p_plus))
+        for array, p_minus, p_plus in windowed_plans:
+            self._repeel_and_splice(array, None, p_minus, p_plus, set())
+        if full_ks:
+            self._repeel_full_arrays(full_ks, engine, workers)
+        if obs is not None:
+            obs.add(metric.MAINT_BATCH_FULL_REPEELS, len(full_ks))
+            obs.add(
+                metric.MAINT_BATCH_ARRAYS,
+                len(full_ks) + len(windowed_plans),
+            )
+        return len(windowed_plans), len(full_ks)
+
+    def _batch_window(
+        self, array: KArray, t: _KTouch
+    ) -> tuple[float, float] | None:
+        """The unioned ``[p_-, p_+]`` window of one membership-stable array.
+
+        ``p_+`` (Thms. 4/9 unioned): for ``p0`` above every endpoint's old
+        p-number, ``C_{k,p0}(G)`` avoids every batch edge and stays valid
+        in the post-batch graph ``G_B``; for ``p0`` above every
+        member-endpoint's ``p̃`` (computed on ``G_B``), ``C_{k,p0}(G_B)``
+        avoids every endpoint and stays valid in ``G`` — above the max of
+        both, the two cores coincide and the suffix is untouched.
+
+        ``p_-`` (Thms. 3/5/8 + Def. 7 unioned, clamped): with ``p1`` the
+        smallest member-endpoint old p-number, ``C = C_{k,p1}(G)`` is its
+        own witness on ``G_B`` — non-endpoint members keep their degrees
+        (every degree-changed k-core vertex is a registered endpoint),
+        and member endpoints are re-checked explicitly.  Every member of
+        ``C`` keeps ``pn >= p_-``, so the prefix below ``p_-`` is
+        identical.  Returns ``None`` when ``p_- >= p_+``: the window is
+        empty and the array provably cannot change (batched Theorem 6).
+        """
+        members = array.members_view()
+        bounds = BoundsCache(self.graph, members)
+        graph = self.graph
+        p_plus = 0.0
+        inside: list[Vertex] = []
+        for x in t.endpoints:
+            pn_old = array.p_number_or(x, 0.0)
+            if pn_old > p_plus:
+                p_plus = pn_old
+            if x in members:
+                inside.append(x)
+                cap = bounds.p_tilde(x)
+                if cap > p_plus:
+                    p_plus = cap
+        if not inside:
+            return 0.0, p_plus
+        p1 = min(array.p_number(x) for x in inside)
+        witness = set(array.query(p1))
+        p_minus = p1
+        for x in inside:
+            dx = degree_in(graph, witness, x)
+            if dx < array.k:
+                p_minus = 0.0
+                break
+            fx = fraction_value(dx, graph.degree(x))
+            if fx < p_minus:
+                p_minus = fx
+        if p_minus >= p_plus and p_plus > 0.0:
+            return None
+        return p_minus, p_plus
+
+    def _repeel_full_arrays(
+        self, ks: Sequence[int], engine: str, workers: int
+    ) -> None:
+        """Re-peel each ``A_k`` in ``ks`` from scratch with a peel engine.
+
+        One :class:`CompactAdjacency` snapshot of the live graph is built
+        per batch and shared by every array (and, with ``workers > 1``,
+        shipped once per worker through the pool initializer), so the
+        per-array marginal cost is the engine peel itself — the same
+        kernels Algorithm 2 runs, scratch reused across the ks.
+        """
+        obs = get_collector()
+        snapshot = CompactAdjacency(self.graph)
+        cn = self._cores.core_numbers()
+        core = [cn.get(label, 0) for label in snapshot.labels]
+        snapshot.sort_neighbors_by_rank_desc(core)
+        if workers > 1 and len(ks) > 1:
+            peeled = peel_all_k(
+                snapshot,
+                core,
+                max(ks),
+                engine=engine,
+                workers=workers,
+                ks=ks,
+            )
+        else:
+            engine_fn = get_engine(engine)
+            scratch = make_scratch(engine, snapshot, core)
+            peeled = {
+                k: engine_fn(snapshot, core, k, scratch=scratch) for k in ks
+            }
+        labels = snapshot.labels
+        arrays = self.index.arrays()
+        for k in ks:
+            order, p_numbers = peeled[k]
+            array = arrays[k]
+            # Bump before touching the array — the same discipline as
+            # _repeel_and_splice: a conservative bump only costs cache
+            # entries, it can never let a stale answer survive.
+            self.index.bump_version(k)
+            array.vertices = [labels[i] for i in order]
+            array.p_numbers = list(p_numbers)
+            array._rebuild_levels()
+            self.stats.arrays_updated += 1
+            self.stats.vertices_repeeled += len(order)
+            if obs is not None:
+                obs.inc(metric.MAINT_ARRAYS_REPEELED)
+                obs.add(metric.MAINT_VERTICES_REPEELED, len(order))
+
+    def _update_a1_after_batch(
+        self, ops: Sequence[tuple[str, Vertex, Vertex]]
+    ) -> None:
+        """One-shot A_1 bookkeeping for a whole batch (single bump).
+
+        Runs after every graph mutation of the batch: A_1 membership is
+        purely degree-based (every non-isolated vertex, pn 1.0), so the
+        final graph decides the adds and drops in one pass.
+        """
+        endpoints = {w for _, u, v in ops for w in (u, v)}
+        if not endpoints:
+            return
+        array = self._ensure_array(1)
+        graph = self.graph
+        drop = {w for w in endpoints if graph.degree(w) == 0}
+        added: set[Vertex] = set()
+        add: list[Vertex] = []
+        for _, u, v in ops:
+            for w in (u, v):
+                if w in drop or w in added or array.contains(w):
+                    continue
+                added.add(w)
+                add.append(w)
+        if not drop.intersection(array.members_view()) and not add:
+            return
+        if drop:
+            array.vertices = [w for w in array.vertices if w not in drop]
+        array.vertices.extend(add)
+        array.p_numbers = [1.0] * len(array.vertices)
+        array._rebuild_levels()
+        self.index.bump_version(1)
 
     # ------------------------------------------------------------------
     # edge insertion — Algorithm 4 (kpIndexInsert)

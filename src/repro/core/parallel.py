@@ -48,6 +48,7 @@ import os
 from multiprocessing.pool import Pool
 from typing import Any, Sequence
 
+from repro.errors import ParameterError
 from repro.graph.compact import CompactAdjacency
 from repro.obs import names
 from repro.obs.instrumentation import Instrumentation, get_collector, set_collector
@@ -210,21 +211,34 @@ def peel_all_k(
     *,
     engine: str,
     workers: int,
+    ks: Sequence[int] | None = None,
 ) -> dict[int, tuple[list[int], list[float]]]:
-    """Peel every ``k`` in ``1..degeneracy`` across a process pool.
+    """Peel every requested ``k`` across a process pool.
 
-    Returns ``{k: (order, p_numbers)}`` — byte-identical to running the
-    selected engine serially for each ``k``.  ``workers`` is clamped to
-    the number of tasks; callers guarantee ``workers >= 1`` and that the
-    snapshot's neighbour lists are already rank-sorted.
+    By default peels all of ``1..degeneracy`` (Algorithm 2's parallel
+    phase); pass ``ks`` to repair an arbitrary subset — the batched
+    maintenance path (:meth:`KPIndexMaintainer.apply_batch`) fans its
+    membership-churned arrays through here.  Returns
+    ``{k: (order, p_numbers)}`` — byte-identical to running the selected
+    engine serially for each ``k``.  ``workers`` is clamped to the number
+    of tasks; callers guarantee ``workers >= 1`` and that the snapshot's
+    neighbour lists are already rank-sorted.
     """
     obs = get_collector()
     tracer = get_tracer()
     trace_ctx = tracer.context() if tracer is not None else None
     sizes = k_core_sizes(core, degeneracy)
-    ks = sorted(range(1, degeneracy + 1), key=lambda k: (-sizes[k], k))
-    pool_size = min(workers, len(ks))
-    chunks = _chunk_ks(ks, sizes, pool_size)
+    selected = range(1, degeneracy + 1) if ks is None else ks
+    for k in selected:
+        if not 1 <= k <= degeneracy:
+            raise ParameterError(
+                f"requested k={k} outside 1..{degeneracy}"
+            )
+    ordered = sorted(selected, key=lambda k: (-sizes[k], k))
+    if not ordered:
+        return {}
+    pool_size = min(workers, len(ordered))
+    chunks = _chunk_ks(ordered, sizes, pool_size)
     results: dict[int, tuple[list[int], list[float]]] = {}
     tasks_per_pid: dict[int, int] = {}
     with Pool(
@@ -246,7 +260,7 @@ def peel_all_k(
             if tracer is not None and events_payload is not None:
                 tracer.absorb(events_payload)
     if obs is not None:
-        obs.add(names.DECOMP_PARALLEL_TASKS, len(ks))
+        obs.add(names.DECOMP_PARALLEL_TASKS, len(ordered))
         obs.add(names.DECOMP_PARALLEL_CHUNKS, len(chunks))
         for count in tasks_per_pid.values():
             obs.observe(names.DECOMP_PARALLEL_WORKERS, count)

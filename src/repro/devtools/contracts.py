@@ -41,6 +41,7 @@ __all__ = [
     "verify_decomposition",
     "verify_maintainer_update",
     "verify_maintainer_query",
+    "verify_batch_state",
 ]
 
 #: Environment variable that switches the contract layer on.
@@ -260,6 +261,19 @@ def verify_maintainer_query(fn: _F) -> _F:
         return result
 
     return wrapper  # type: ignore[return-value]
+
+
+def verify_batch_state(maintainer: Any, endpoints: Iterable[Any]) -> None:
+    """Post-``apply_batch`` contract check (no-op unless contracts are on).
+
+    Not a decorator: a batch's endpoints are only known after the update
+    iterable is consumed, so :meth:`KPIndexMaintainer.apply_batch` calls
+    this explicitly once the batch has been applied.  Runs the same
+    bounds-sandwich / full-validation checks as
+    :func:`verify_maintainer_update`, over every batch endpoint at once.
+    """
+    if _active:
+        _check_maintainer_state(maintainer, tuple(endpoints))
 
 
 def _check_maintainer_state(maintainer: Any, endpoints: tuple[Any, Any]) -> None:

@@ -86,6 +86,13 @@ MAINT_WINDOW_P_MINUS = "maintenance.window_p_minus"
 MAINT_WINDOW_P_PLUS = "maintenance.window_p_plus"
 MAINT_SPAN_INSERT = "maintenance.insert_edge"
 MAINT_SPAN_DELETE = "maintenance.delete_edge"
+MAINT_SPAN_BATCH = "maintenance.apply_batch"
+MAINT_BATCH_BATCHES = "maintenance.batch.batches"
+MAINT_BATCH_UPDATES = "maintenance.batch.updates"
+MAINT_BATCH_CANCELLED = "maintenance.batch.cancelled_pairs"
+MAINT_BATCH_ARRAYS = "maintenance.batch.arrays_repeeled"
+MAINT_BATCH_WINDOW_UNIONS = "maintenance.batch.window_unions"
+MAINT_BATCH_FULL_REPEELS = "maintenance.batch.full_repeels"
 
 # ----------------------------------------------------------------------
 # KP-Index queries (repro.core.index) — Algorithm 3
@@ -188,6 +195,12 @@ COUNTERS: dict[str, str] = {
     MAINT_VERTICES_REPEELED: "vertices re-peeled across all arrays",
     MAINT_EARLY_STOPS: "re-peels stopped early at p_+ (Thms. 4/9)",
     MAINT_FALLBACK_REBUILDS: "defensive full array rebuilds",
+    MAINT_BATCH_BATCHES: "apply_batch calls (one coalesced batch each)",
+    MAINT_BATCH_UPDATES: "net updates applied through apply_batch",
+    MAINT_BATCH_CANCELLED: "insert+delete pairs cancelled by coalescing",
+    MAINT_BATCH_ARRAYS: "arrays re-peeled once per batch (windowed + full)",
+    MAINT_BATCH_WINDOW_UNIONS: "membership-stable arrays re-peeled via a unioned window",
+    MAINT_BATCH_FULL_REPEELS: "membership-churned arrays re-peeled in full per batch",
     INDEX_QUERIES: "KP-Index queries answered (Algorithm 3)",
     INDEX_EMPTY_QUERIES: "queries whose answer was empty",
     INDEX_VERTICES_TOUCHED: "vertices returned across all queries",
@@ -233,6 +246,7 @@ SPANS: dict[str, str] = {
     DECOMP_SPAN_PEEL: "fixed-k peels for every k",
     MAINT_SPAN_INSERT: "one kpIndexInsert update",
     MAINT_SPAN_DELETE: "one kpIndexDelete update",
+    MAINT_SPAN_BATCH: "one coalesced apply_batch (multi-update) application",
 }
 
 

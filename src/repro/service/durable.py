@@ -42,7 +42,7 @@ import json
 import os
 import tempfile
 from dataclasses import dataclass
-from typing import Callable, Iterable
+from typing import Callable, Iterable, Sequence
 
 from repro.errors import (
     GraphError,
@@ -54,9 +54,11 @@ from repro.graph.fingerprint import graph_fingerprint
 from repro.graph.io import read_edge_list, write_edge_list
 from repro.core.index import KPIndex
 from repro.core.maintenance import KPIndexMaintainer, MaintenanceMode
+from repro.core.peel_engines import DEFAULT_ENGINE
 from repro.obs import names as metric
 from repro.obs.instrumentation import get_collector
 from repro.service.journal import (
+    OP_BATCH,
     OP_DELETE,
     OP_INSERT,
     JournalRecord,
@@ -250,6 +252,10 @@ class DurableMaintainer:
         # Write-ahead hook: journal every update *before* it is applied,
         # including direct insert_edge/delete_edge calls on `maintainer`.
         self.maintainer.update_hooks.append(self._journal_hook)
+        # Batched write-ahead hook: a coalesced batch journals as one
+        # atomic single-line record (apply_batch fires batch_hooks, never
+        # the per-edge update_hooks, so batches are not double-logged).
+        self.maintainer.batch_hooks.append(self._batch_journal_hook)
 
     # ------------------------------------------------------------------
     # accessors
@@ -279,6 +285,15 @@ class DurableMaintainer:
     # ------------------------------------------------------------------
     def _journal_hook(self, op: str, u: Vertex, v: Vertex) -> None:
         self._journal.append(op, u, v)
+        self.stats.journaled += 1
+        obs = get_collector()
+        if obs is not None:
+            obs.inc(metric.SERVICE_JOURNAL_RECORDS)
+
+    def _batch_journal_hook(
+        self, ops: Sequence[tuple[str, Vertex, Vertex]]
+    ) -> None:
+        self._journal.append_batch(ops)
         self.stats.journaled += 1
         obs = get_collector()
         if obs is not None:
@@ -320,6 +335,53 @@ class DurableMaintainer:
                 if self._since_checkpoint >= self.checkpoint_every:
                     self.checkpoint()
                     checkpoints += 1
+        finally:
+            self._journal.commit()
+        return ApplyReport(
+            applied=applied, skipped=skipped, checkpoints=checkpoints
+        )
+
+    def apply_batch(
+        self,
+        updates: Iterable[UpdateOp],
+        *,
+        engine: str = DEFAULT_ENGINE,
+        workers: int = 1,
+    ) -> ApplyReport:
+        """Apply a coalesced batch: one journal record, one fsync, one
+        checkpoint decision.
+
+        The batch is handed to
+        :meth:`~repro.core.maintenance.KPIndexMaintainer.apply_batch`,
+        which validates the *whole* sequence before mutating anything and
+        journals it (through the batch hook) as a single atomic
+        single-line record.  Failure semantics are therefore
+        all-or-nothing: a :class:`~repro.errors.GraphError` means nothing
+        was journaled and nothing was applied — under
+        :attr:`ErrorPolicy.SKIP` the entire batch counts as skipped,
+        under :attr:`ErrorPolicy.FAIL` it re-raises.  At most one
+        checkpoint is taken per batch, after the whole batch has applied.
+        """
+        self._ensure_open()
+        ops = list(updates)
+        applied = skipped = checkpoints = 0
+        try:
+            try:
+                report = self.maintainer.apply_batch(
+                    ops, engine=engine, workers=workers
+                )
+            except GraphError:
+                self.stats.skipped += len(ops)
+                skipped = len(ops)
+                if self.policy is ErrorPolicy.FAIL:
+                    raise
+            else:
+                applied = report.applied
+                self.stats.applied += report.applied
+                self._since_checkpoint += report.applied
+                if self._since_checkpoint >= self.checkpoint_every:
+                    self.checkpoint()
+                    checkpoints = 1
         finally:
             self._journal.commit()
         return ApplyReport(
@@ -418,6 +480,7 @@ class DurableMaintainer:
         next_seq = self._journal.next_seq
         self._journal.close()
         tail = read_journal(self._path(JOURNAL_NAME), after_seq=cut_seq)
+        self._fault("compaction")
         lines = "".join(record.to_line() + "\n" for record in tail)
         _atomic_write_text(self._path(JOURNAL_NAME), lines)
         self._journal = UpdateJournal(
@@ -511,7 +574,14 @@ class DurableMaintainer:
         skipped = 0
         for record in tail:
             try:
-                self._apply_one(record.op, record.u, record.v)
+                if record.op == OP_BATCH:
+                    # A journaled batch passed whole-batch validation, so
+                    # replay is all-or-nothing too: GraphError here means
+                    # the record describes a batch that never applied
+                    # against *this* state — skip the whole record.
+                    self.maintainer.apply_batch(record.ops or ())
+                else:
+                    self._apply_one(record.op, record.u, record.v)
             except GraphError:
                 skipped += 1
         self.stats.replayed += len(tail)

@@ -4,9 +4,16 @@ One record per line::
 
     {"op": "insert", "u": 3, "v": 7, "seq": 42}
 
+or, for a coalesced batch journaled as **one atomic record-group**::
+
+    {"op": "batch", "ops": [["insert", 3, 7], ["delete", 1, 2]], "seq": 43}
+
 ``seq`` is a strictly increasing global sequence number; a checkpoint
 records the last sequence it covers, and recovery replays exactly the
-records after it (the *journal tail*).
+records after it (the *journal tail*).  A batch record consumes a single
+sequence number, and — because it is a single line — the torn-final-line
+rule below makes it all-or-nothing on disk for free: a crash mid-append
+drops the *whole* batch, never a prefix of it.
 
 Durability discipline: :meth:`UpdateJournal.append` writes and flushes the
 record to the OS **before** the update is applied to the in-memory index
@@ -24,7 +31,7 @@ from __future__ import annotations
 import json
 import os
 from dataclasses import dataclass
-from typing import IO
+from typing import IO, Sequence
 
 from repro.errors import IndexPersistenceError
 from repro.graph.adjacency import Vertex
@@ -32,6 +39,7 @@ from repro.graph.adjacency import Vertex
 __all__ = [
     "OP_INSERT",
     "OP_DELETE",
+    "OP_BATCH",
     "JournalRecord",
     "UpdateJournal",
     "read_journal",
@@ -39,19 +47,36 @@ __all__ = [
 
 OP_INSERT = "insert"
 OP_DELETE = "delete"
+#: Record type of a coalesced batch: one line, one seq, many edge ops.
+OP_BATCH = "batch"
 _OPS = frozenset((OP_INSERT, OP_DELETE))
 
 
 @dataclass(frozen=True)
 class JournalRecord:
-    """One journaled edge update."""
+    """One journaled update: a single edge op, or a whole batch.
+
+    For ``op == OP_BATCH`` the edge ops live in ``ops`` (each an
+    ``(op, u, v)`` triple) and ``u``/``v`` are ``None``; otherwise
+    ``ops`` is ``None`` and ``u``/``v`` carry the single edge.
+    """
 
     op: str
-    u: Vertex
-    v: Vertex
+    u: Vertex | None
+    v: Vertex | None
     seq: int
+    ops: tuple[tuple[str, Vertex, Vertex], ...] | None = None
 
     def to_line(self) -> str:
+        if self.op == OP_BATCH:
+            return json.dumps(
+                {
+                    "op": self.op,
+                    "ops": [list(entry) for entry in self.ops or ()],
+                    "seq": self.seq,
+                },
+                separators=(",", ":"),
+            )
         return json.dumps(
             {"op": self.op, "u": self.u, "v": self.v, "seq": self.seq},
             separators=(",", ":"),
@@ -65,6 +90,17 @@ class JournalRecord:
         try:
             payload = json.loads(line)
             op = payload["op"]
+            if op == OP_BATCH:
+                ops: list[tuple[str, Vertex, Vertex]] = []
+                for entry in payload["ops"]:
+                    inner, u, v = entry
+                    if inner not in _OPS:
+                        raise ValueError(f"unknown batched op {inner!r}")
+                    ops.append((inner, u, v))
+                return cls(
+                    op=op, u=None, v=None,
+                    seq=int(payload["seq"]), ops=tuple(ops),
+                )
             if op not in _OPS:
                 raise ValueError(f"unknown op {op!r}")
             return cls(op=op, u=payload["u"], v=payload["v"], seq=int(payload["seq"]))
@@ -109,6 +145,34 @@ class UpdateJournal:
                 f"unknown journal op {op!r}", path=self.path
             )
         record = JournalRecord(op=op, u=u, v=v, seq=self._next_seq)
+        self._handle.write(record.to_line() + "\n")
+        self._handle.flush()
+        self._next_seq += 1
+        self._pending += 1
+        return record
+
+    def append_batch(
+        self, ops: Sequence[tuple[str, Vertex, Vertex]]
+    ) -> JournalRecord:
+        """Append a coalesced batch as one atomic single-line record.
+
+        The whole batch takes one sequence number and one line, so the
+        torn-final-line tolerance of :func:`read_journal` gives it
+        all-or-nothing crash semantics without any extra framing.
+        """
+        if self._handle is None:
+            raise IndexPersistenceError(
+                "journal is closed", path=self.path
+            )
+        for op, _, _ in ops:
+            if op not in _OPS:
+                raise IndexPersistenceError(
+                    f"unknown journal op {op!r}", path=self.path
+                )
+        record = JournalRecord(
+            op=OP_BATCH, u=None, v=None,
+            seq=self._next_seq, ops=tuple(ops),
+        )
         self._handle.write(record.to_line() + "\n")
         self._handle.flush()
         self._next_seq += 1

@@ -61,6 +61,7 @@ from typing import Iterable, Iterator, Sequence
 from repro.errors import ParameterError
 from repro.graph.adjacency import Vertex
 from repro.core.index import KPIndex
+from repro.core.peel_engines import DEFAULT_ENGINE
 from repro.core.pvalue import check_p
 from repro.obs import names as metric
 from repro.obs.instrumentation import get_collector
@@ -648,6 +649,37 @@ class KPCoreServer:
                     # the exclusive section: it must be ordered with the
                     # mutation it logs.  noqa KP012: blocking by design.
                     return self._durable.apply(updates)  # noqa: KP012 WAL ordering
+                finally:
+                    self._purge_changed(before)
+
+    def apply_batch(
+        self,
+        updates: Iterable[UpdateOp],
+        *,
+        engine: str = DEFAULT_ENGINE,
+        workers: int = 1,
+    ) -> ApplyReport:
+        """Apply a coalesced batch under one write-lock hold.
+
+        Delegates to :meth:`DurableMaintainer.apply_batch` — one journal
+        record, one fsync, at most one re-peel per affected ``A_k`` —
+        and afterwards, still exclusively, purges every cache entry
+        whose version moved.  Each touched array's version bumps exactly
+        once per batch regardless of how many batch edges touch it, so
+        the purge-and-refill churn is amortized the same way the
+        re-peels are.  Readers never observe a half-applied batch: the
+        write lock spans validation, mutation, and purge.
+        """
+        with maybe_trace_span(metric.TRACE_SERVER_APPLY):
+            with self._lock.write_locked(site="apply_batch"):
+                before = self.index.versions()
+                try:
+                    # Same WAL ordering argument as apply(): the batch
+                    # journal record + fsync must stay inside the
+                    # exclusive section.  noqa KP012: blocking by design.
+                    return self._durable.apply_batch(  # noqa: KP012 WAL ordering
+                        updates, engine=engine, workers=workers
+                    )
                 finally:
                     self._purge_changed(before)
 

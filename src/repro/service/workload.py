@@ -53,7 +53,7 @@ __all__ = [
 #: One workload entry: ("query", k, p) or ("insert"/"delete", u, v).
 WorkloadOp = tuple  # type: ignore[type-arg]
 
-_INT_KEYS = {"ops", "vertices", "kmax", "plevels", "prefill"}
+_INT_KEYS = {"ops", "vertices", "kmax", "plevels", "prefill", "batch"}
 _WEIGHT_KEYS = {"query", "insert", "delete"}
 
 
@@ -70,10 +70,18 @@ class WorkloadSpec:
     plevels: int = 10
     prefill: int = 80
     skew: float = 0.0
+    #: Updates are applied in coalesced groups of this size: ``1`` routes
+    #: each update through the sequential path (Algorithms 4/5 per edge),
+    #: ``B > 1`` through :meth:`KPCoreServer.apply_batch` (one re-peel
+    #: per affected array per group).  Purely an *application* knob — the
+    #: generated op stream is identical for every ``batch`` value.
+    batch: int = 1
 
     def __post_init__(self) -> None:
         if self.skew < 0:
             raise ParameterError(f"skew must be >= 0, got {self.skew}")
+        if self.batch < 1:
+            raise ParameterError(f"batch must be >= 1, got {self.batch}")
         if self.ops < 0 or self.prefill < 0:
             raise ParameterError("ops and prefill must be >= 0")
         if self.vertices < 2:

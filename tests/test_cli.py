@@ -181,7 +181,7 @@ class TestIndexServeBench:
              "--workload", self.SPEC, "--threads", "2", "--seed", "1"]
         ) == 0
         out = capsys.readouterr().out
-        assert "threads 2  cache on" in out
+        assert "threads 2  batch 1  cache on" in out
         assert "throughput" in out
         assert "latency ms" in out
         assert "hit_rate=" in out
@@ -214,6 +214,31 @@ class TestIndexServeBench:
              "--workload", "bogus=1"]
         ) == 1
         assert capsys.readouterr().err.startswith("error:")
+
+    def test_batch_size_flag_routes_updates_through_apply_batch(
+        self, tmp_path, capsys
+    ):
+        report = tmp_path / "serve.json"
+        assert main(
+            ["index", "serve-bench", str(tmp_path / "state"),
+             "--workload", self.SPEC, "--threads", "1", "--seed", "1",
+             "--batch-size", "8", "--probe-every", "1",
+             "--json", str(report)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "batch 8" in out
+        assert "stale_serves 0 (vs naive fixpoint)" in out
+        document = json.load(open(report))
+        assert document["batch"] == 8
+        assert ",batch=8" in document["spec"]
+
+    def test_batch_key_in_spec_is_honoured(self, tmp_path, capsys):
+        assert main(
+            ["index", "serve-bench", str(tmp_path / "state"),
+             "--workload", self.SPEC + ",batch=4", "--threads", "1",
+             "--seed", "1"]
+        ) == 0
+        assert "batch 4" in capsys.readouterr().out
 
 
 class TestDataset:

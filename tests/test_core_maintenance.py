@@ -302,3 +302,55 @@ class TestVersionBumps:
         maintainer.delete_vertex(0)
         assert maintainer.index.version(1) > before
         assert_index_exact(maintainer)
+
+
+class TestBatchVersionBumps:
+    """apply_batch amortizes bumps: once per touched array per batch."""
+
+    def test_batch_bumps_each_changed_array_exactly_once(self, mode):
+        # 30 random updates applied one-by-one bump changed arrays ~30
+        # times; the same updates in ONE batch bump each array at most
+        # once — and exactly once when its content changed.
+        g = erdos_renyi_gnm(14, 36, seed=31)
+        maintainer = KPIndexMaintainer(g.copy(), mode=mode, strict=True)
+        rng = random.Random(31)
+        present = {frozenset(e) for e in g.edges()}
+        ops = []
+        for _ in range(30):
+            u, v = rng.randrange(14), rng.randrange(14)
+            if u == v:
+                continue
+            key = frozenset((u, v))
+            if key in present:
+                ops.append(("delete", u, v))
+                present.discard(key)
+            else:
+                ops.append(("insert", u, v))
+                present.add(key)
+        before_bytes = _array_snapshots(maintainer.index)
+        before_versions = maintainer.index.versions()
+        maintainer.apply_batch(ops)
+        after_bytes = _array_snapshots(maintainer.index)
+        for k in set(before_bytes) | set(after_bytes):
+            delta = maintainer.index.version(k) - before_versions.get(k, 0)
+            if before_bytes.get(k) != after_bytes.get(k):
+                assert delta == 1, (
+                    f"A_{k} changed but bumped {delta} times in one batch"
+                )
+            else:
+                assert delta <= 1
+        assert_index_exact(maintainer)
+
+    def test_untouched_arrays_never_bump(self, mode):
+        # A batch of pendant edges between fresh vertices cannot touch
+        # any A_k with k >= 2 (Thm. 2), so no high-k version may move.
+        g = Graph([(0, 1), (1, 2), (2, 0)])
+        maintainer = KPIndexMaintainer(g, mode=mode, strict=True)
+        high_k = {k: maintainer.index.version(k) for k in range(2, 6)}
+        maintainer.apply_batch(
+            [("insert", 10, 11), ("insert", 12, 13), ("insert", 14, 15)]
+        )
+        for k, version in high_k.items():
+            assert maintainer.index.version(k) == version
+        assert maintainer.index.version(1) > 0
+        assert_index_exact(maintainer)

@@ -471,7 +471,7 @@ def test_repo_benchmarks_and_tests_lint_clean():
 
 
 def test_analysis_finds_the_servers_justified_sites():
-    """The five durable-write sites in server.py are design decisions,
+    """The six durable-write sites in server.py are design decisions,
     suppressed with targeted noqa comments — strip the suppressions and
     the analyzer must still see them (the rule has not gone blind)."""
     server_path = os.path.join(REPO_SRC, "repro", "service", "server.py")
@@ -489,4 +489,4 @@ def test_analysis_finds_the_servers_justified_sites():
         for v in analyze_program(program)
         if v.code == "KP012" and v.path == server_path
     ]
-    assert len(found) == 5
+    assert len(found) == 6

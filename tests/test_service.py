@@ -119,6 +119,49 @@ class TestJournal:
         assert journal.commit() == 0
         journal.close()
 
+    def test_batch_record_round_trip(self, tmp_path):
+        path = str(tmp_path / "journal.jsonl")
+        ops = [("insert", 1, 2), ("insert", 2, 3), ("delete", 1, 2)]
+        with UpdateJournal(path) as journal:
+            journal.append("insert", 7, 8)
+            journal.append_batch(ops)
+        records = read_journal(path)
+        assert [r.seq for r in records] == [0, 1]
+        assert records[0].ops is None
+        assert records[1].op == "batch"
+        assert records[1].u is None and records[1].v is None
+        assert records[1].ops == tuple(ops)
+
+    def test_batch_record_is_one_line_one_seq(self, tmp_path):
+        path = str(tmp_path / "journal.jsonl")
+        with UpdateJournal(path) as journal:
+            journal.append_batch([("insert", i, i + 1) for i in range(20)])
+            journal.append("insert", 99, 100)
+        with open(path, encoding="utf-8") as handle:
+            lines = handle.readlines()
+        assert len(lines) == 2
+        assert [r.seq for r in read_journal(path)] == [0, 1]
+
+    def test_torn_batch_line_drops_the_whole_batch(self, tmp_path):
+        # the all-or-nothing property: a crash mid-append of a batch
+        # record must never leave a prefix of the batch behind.
+        path = str(tmp_path / "journal.jsonl")
+        with UpdateJournal(path) as journal:
+            journal.append("insert", 1, 2)
+            journal.append_batch([("insert", 3, 4), ("insert", 5, 6)])
+        with open(path, encoding="utf-8") as handle:
+            lines = handle.readlines()
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(lines[0])
+            handle.write(lines[1][: len(lines[1]) // 2])  # torn mid-append
+        records = read_journal(path)
+        assert [(r.op, r.seq) for r in records] == [("insert", 0)]
+
+    def test_batch_with_unknown_inner_op_rejected(self, tmp_path):
+        with UpdateJournal(str(tmp_path / "j.jsonl")) as journal:
+            with pytest.raises(IndexPersistenceError):
+                journal.append_batch([("insert", 1, 2), ("upsert", 3, 4)])
+
 
 # ----------------------------------------------------------------------
 # update streams
@@ -392,6 +435,169 @@ class TestCrashRecovery:
             handle.write("998 999\n")  # edge the index never saw
         with pytest.raises(IndexPersistenceError):
             DurableMaintainer(state)
+
+
+# ----------------------------------------------------------------------
+# batched durability: apply_batch journaling, crashes, recovery
+# ----------------------------------------------------------------------
+def _run_batched_until_crash(
+    state, edges, crash_stage, batch=4, checkpoint_every=8
+):
+    """Apply edges through ``apply_batch`` groups, crashing at
+    ``crash_stage`` of the *second* checkpoint; returns edges applied."""
+    seen = {"count": 0}
+
+    def hook(stage):
+        if stage == crash_stage:
+            seen["count"] += 1
+            if seen["count"] >= 2:
+                raise _SimulatedCrash(stage)
+
+    durable = DurableMaintainer(
+        state, checkpoint_every=checkpoint_every, fault_hook=hook
+    )
+    applied = 0
+    try:
+        for i in range(0, len(edges), batch):
+            group = [("insert", u, v) for u, v in edges[i : i + batch]]
+            durable.apply_batch(group)
+            applied += len(group)
+    except _SimulatedCrash:
+        applied = durable.stats.applied
+    # no close(): the "process" died
+    return applied
+
+
+class TestBatchedDurability:
+    def test_apply_batch_journals_one_record_per_group(self, tmp_path):
+        state = str(tmp_path / "state")
+        edges = edges_of(seed=21)
+        with DurableMaintainer(state, checkpoint_every=10**9) as durable:
+            for i in range(0, len(edges), 8):
+                durable.apply_batch(
+                    [("insert", u, v) for u, v in edges[i : i + 8]]
+                )
+            groups = -(-len(edges) // 8)
+            assert durable.stats.journaled == groups
+            records = read_journal(os.path.join(state, JOURNAL_NAME))
+            assert len(records) == groups
+            assert all(r.op == "batch" for r in records)
+
+    def test_batch_replay_on_reopen(self, tmp_path):
+        state = str(tmp_path / "state")
+        edges = edges_of(seed=22)
+        with DurableMaintainer(state, checkpoint_every=10**9) as durable:
+            for i in range(0, len(edges), 8):
+                durable.apply_batch(
+                    [("insert", u, v) for u, v in edges[i : i + 8]]
+                )
+        with DurableMaintainer(state) as durable:
+            assert durable.recovery is not None
+            assert durable.recovery.replayed == -(-len(edges) // 8)
+            assert durable.recovery.skipped == 0
+            assert durable.index.semantically_equal(from_scratch(edges))
+
+    @pytest.mark.parametrize(
+        "stage",
+        [
+            "journal-committed",
+            "graph-written",
+            "index-written",
+            "before-manifest",
+            "manifest-written",
+            "compaction",
+        ],
+    )
+    def test_crash_mid_batched_checkpoint_recovers_exactly(
+        self, tmp_path, stage
+    ):
+        state = str(tmp_path / "state")
+        edges = edges_of(seed=23)
+        applied = _run_batched_until_crash(state, edges, stage)
+        assert 0 < applied < len(edges)
+        assert applied % 4 == 0  # whole batches only: all-or-nothing
+        with DurableMaintainer(state) as durable:
+            assert durable.recovery is not None
+            assert durable.index.semantically_equal(
+                from_scratch(edges[:applied])
+            )
+            # ... and the recovered service accepts further batches
+            durable.apply_batch(
+                [("insert", u, v) for u, v in edges[applied:]]
+            )
+            assert durable.index.semantically_equal(from_scratch(edges))
+
+    def test_torn_final_batch_record_recovers_without_it(self, tmp_path):
+        # mid-batch-journal-write crash: the torn single-line record
+        # means the whole batch vanishes — never a prefix of it.
+        state = str(tmp_path / "state")
+        edges = edges_of(seed=24)
+        with DurableMaintainer(state, checkpoint_every=10**9) as durable:
+            for i in range(0, len(edges), 4):
+                durable.apply_batch(
+                    [("insert", u, v) for u, v in edges[i : i + 4]]
+                )
+        journal = os.path.join(state, JOURNAL_NAME)
+        with open(journal, encoding="utf-8") as handle:
+            lines = handle.readlines()
+        with open(journal, "w", encoding="utf-8") as handle:
+            handle.writelines(lines[:-1])
+            handle.write(lines[-1][: len(lines[-1]) // 2])
+        with DurableMaintainer(state) as durable:
+            # each journal line is one 4-edge batch; the torn final one
+            # is gone wholesale
+            assert durable.index.semantically_equal(
+                from_scratch(edges[: 4 * (len(lines) - 1)])
+            )
+
+    def test_invalid_batch_is_skipped_whole_under_skip_policy(
+        self, tmp_path
+    ):
+        state = str(tmp_path / "state")
+        with DurableMaintainer(state, on_error="skip") as durable:
+            durable.apply_batch([("insert", 1, 2), ("insert", 2, 3)])
+            report = durable.apply_batch(
+                [("insert", 3, 4), ("delete", 8, 9)]  # delete never existed
+            )
+            assert report.applied == 0
+            assert report.skipped == 2
+            assert not durable.graph.has_edge(3, 4)  # all-or-nothing
+            assert durable.index.semantically_equal(
+                from_scratch([(1, 2), (2, 3)])
+            )
+        # the invalid batch was never journaled: validation precedes the
+        # write-ahead hook, so recovery sees only the good batch.
+        with DurableMaintainer(state) as durable:
+            assert durable.recovery is not None
+            assert durable.recovery.skipped == 0
+            assert durable.index.semantically_equal(
+                from_scratch([(1, 2), (2, 3)])
+            )
+
+    def test_invalid_batch_raises_whole_under_fail_policy(self, tmp_path):
+        state = str(tmp_path / "state")
+        with DurableMaintainer(state, on_error=ErrorPolicy.FAIL) as durable:
+            durable.apply_batch([("insert", 1, 2)])
+            with pytest.raises(EdgeNotFoundError):
+                durable.apply_batch([("insert", 3, 4), ("delete", 8, 9)])
+            assert not durable.graph.has_edge(3, 4)
+        with DurableMaintainer(state) as durable:
+            assert durable.index.semantically_equal(from_scratch([(1, 2)]))
+
+    def test_mixed_singles_and_batches_recover_together(self, tmp_path):
+        state = str(tmp_path / "state")
+        edges = edges_of(seed=25)
+        with DurableMaintainer(state, checkpoint_every=10**9) as durable:
+            durable.apply([("insert", u, v) for u, v in edges[:5]])
+            durable.apply_batch([("insert", u, v) for u, v in edges[5:15]])
+            durable.insert_edge(*edges[15])
+            durable.apply_batch(
+                [("delete", u, v) for u, v in edges[:3]]
+            )
+        with DurableMaintainer(state) as durable:
+            assert durable.index.semantically_equal(
+                from_scratch(edges[3:16])
+            )
 
 
 # ----------------------------------------------------------------------

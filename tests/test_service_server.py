@@ -690,6 +690,140 @@ class TestConcurrencyStress:
 
 
 # ----------------------------------------------------------------------
+# batched writes through the server
+# ----------------------------------------------------------------------
+class TestBatchedServer:
+    def test_apply_batch_matches_sequential_server(self, tmp_path):
+        spec = "ops=80,query=0,insert=2,delete=1,vertices=14,kmax=4,prefill=25"
+        updates = [
+            op for op in generate_workload(spec, seed=6) if op[0] != "query"
+        ]
+        with make_server(str(tmp_path / "a")) as batched, make_server(
+            str(tmp_path / "b")
+        ) as sequential:
+            for i in range(0, len(updates), 8):
+                batched.apply_batch(updates[i : i + 8])
+            sequential.apply(updates)
+            assert batched.index.semantically_equal(sequential.index)
+
+    def test_apply_batch_purges_only_touched_arrays(self, tmp_path):
+        with make_server(str(tmp_path)) as server:
+            server.apply([("insert", u, v) for u, v in
+                          [(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)]])
+            for k, p in [(1, 1.0), (2, 0.5), (2, 1.0)]:
+                server.query(k, p)
+            assert server.cache_contents()
+            before = dict(server.index.versions())
+            # pendant edges between fresh vertices: touches A_1 only
+            server.apply_batch([("insert", 10, 11), ("insert", 12, 13)])
+            contents = server.cache_contents()
+            for (k, level), version in contents.items():
+                assert version == server.index.version(k)
+            for k in set(server.index.versions()) | set(before):
+                if before.get(k, 0) == server.index.version(k):
+                    continue
+                assert all(key[0] != k for key in contents)  # noqa: KP002 integer k cache keys, not p-values
+
+    def test_batched_soak_matches_naive_everywhere(self):
+        result = run_differential_probes(
+            spec=SOAK_SPEC + ",batch=8", seed=4, probe_every=1
+        )
+        assert result["probes"] > 0
+        assert result["stale_serves"] == 0
+
+    def test_three_readers_one_batch_writer_no_stale(self, tmp_path):
+        # apply_batch is atomic under the write lock, so readers may only
+        # observe batch-boundary states — a strictly smaller valid set
+        # than the per-update boundaries of the sequential stress test.
+        spec = "ops=36,query=0,insert=2,delete=1,vertices=14,kmax=4,prefill=20"
+        updates = [
+            op for op in generate_workload(spec, seed=11) if op[0] != "query"
+        ]
+        batch = 4
+        mirror = Graph()
+        valid: dict[tuple[int, float], set[frozenset]] = {
+            pair: set() for pair in PROBE_PAIRS
+        }
+        for pair in PROBE_PAIRS:
+            valid[pair].add(frozenset(naive_kp_core_vertices(mirror, *pair)))
+        for i in range(0, len(updates), batch):
+            for op, u, v in updates[i : i + batch]:
+                if op == "insert":
+                    mirror.add_edge(u, v)
+                else:
+                    mirror.remove_edge(u, v)
+            for pair in PROBE_PAIRS:
+                valid[pair].add(
+                    frozenset(naive_kp_core_vertices(mirror, *pair))
+                )
+
+        errors: list[BaseException] = []
+        done = threading.Event()
+
+        with make_server(str(tmp_path)) as server:
+
+            def reader(offset: int) -> None:
+                iterations = 0
+                try:
+                    while not done.is_set() and iterations < 400:
+                        pair = PROBE_PAIRS[
+                            (iterations + offset) % len(PROBE_PAIRS)
+                        ]
+                        answer = frozenset(server.query(*pair))
+                        assert answer in valid[pair], (
+                            f"stale/torn answer for {pair}: "
+                            f"{sorted(answer)!r} is not any batch-boundary "
+                            "state"
+                        )
+                        iterations += 1
+                except BaseException as error:
+                    errors.append(error)
+
+            threads = [
+                threading.Thread(
+                    target=reader, args=(i,), name=f"batch-reader-{i}"
+                )
+                for i in range(3)
+            ]
+            for thread in threads:
+                thread.start()
+            try:
+                for i in range(0, len(updates), batch):
+                    server.apply_batch(updates[i : i + batch])
+            finally:
+                done.set()
+                for thread in threads:
+                    thread.join(timeout=30)
+            assert not errors, errors
+            assert server.index.semantically_equal(KPIndex.build(mirror))
+            # one journal record per batch, not per update
+            assert server.durable.stats.journaled == -(-len(updates) // batch)
+
+
+class TestWorkloadBatchKey:
+    def test_batch_parses_and_round_trips(self):
+        spec = WorkloadSpec.parse("ops=50,batch=8")
+        assert spec.batch == 8
+        assert WorkloadSpec.parse(spec.to_string()) == spec
+
+    def test_batch_default_is_one(self):
+        assert WorkloadSpec().batch == 1
+
+    def test_batch_validated(self):
+        with pytest.raises(ParameterError):
+            WorkloadSpec(batch=0)
+
+    def test_batch_changes_fingerprint_not_the_stream(self):
+        plain = WorkloadSpec.parse("ops=60,vertices=12")
+        batched = WorkloadSpec.parse("ops=60,vertices=12,batch=8")
+        assert plain.fingerprint() != batched.fingerprint()
+        # purely an application knob: the generated ops are identical
+        assert generate_workload(plain, seed=3) == generate_workload(
+            batched, seed=3
+        )
+
+
+# ----------------------------------------------------------------------
 # bench drivers
 # ----------------------------------------------------------------------
 class TestServeBenchDriver:
@@ -711,6 +845,7 @@ class TestServeBenchDriver:
             cache=cache,
         )
         assert result["queries"] > 0 and result["updates"] > 0
+        assert result["batch"] == 1
         assert result["elapsed_s"] >= 0
         assert result["query_wall_s"] > 0 and result["update_wall_s"] >= 0
         assert result["query_qps"] > 0 and result["ops_per_s"] > 0
@@ -722,6 +857,26 @@ class TestServeBenchDriver:
             assert "admission_rejects" in result["cache_stats"]
         else:
             assert result["cache_stats"]["hits"] == 0
+
+    def test_run_serve_bench_batched_write_path(self, tmp_path):
+        result = run_serve_bench(
+            str(tmp_path / "state"),
+            spec="ops=80,vertices=16,kmax=4,prefill=20,batch=8",
+            seed=2,
+            threads=2,
+        )
+        assert result["batch"] == 8
+        assert result["updates"] > 0 and result["ops_per_s"] > 0
+        # the state directory is recoverable and exact after the batches
+        durable = DurableMaintainer(
+            str(tmp_path / "state"), must_exist=True
+        )
+        try:
+            assert durable.index.semantically_equal(
+                KPIndex.build(durable.graph)
+            )
+        finally:
+            durable.close()
 
     def test_serve_bench_state_survives_for_recovery(self, tmp_path):
         """The bench writes through the durable layer: recovery works."""
